@@ -1,0 +1,40 @@
+// Command datagen writes a synthetic dataset to disk: one SJPG file per
+// sample plus a manifest.json, in the layout dataset.LoadDir (and therefore
+// sophon-server -data-dir) reads back.
+//
+// Usage:
+//
+//	datagen -out ./data -n 100 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+)
+
+func main() {
+	out := flag.String("out", "./data", "output directory")
+	n := flag.Int("n", 100, "number of samples")
+	seed := flag.Uint64("seed", 1, "dataset seed")
+	name := flag.String("name", "synthetic", "dataset name")
+	minDim := flag.Int("min-dim", 80, "smallest image side (px)")
+	maxDim := flag.Int("max-dim", 480, "largest image side (px)")
+	flag.Parse()
+
+	set, err := dataset.NewSyntheticImageSet(dataset.SyntheticOptions{
+		Name: *name, N: *n, Seed: *seed, MinDim: *minDim, MaxDim: *maxDim,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+	m, err := dataset.WriteDir(set, *out, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d samples (%.1f MB) to %s\n", m.N, float64(m.TotalBytes)/1e6, *out)
+}

@@ -1,0 +1,52 @@
+// Command sophon-bench regenerates every table and figure from the paper's
+// evaluation section and writes the report to stdout (or a file).
+//
+// Usage:
+//
+//	sophon-bench [-seed N] [-openimages N] [-imagenet N] [-o report.txt]
+//
+// With no size overrides the datasets run at paper scale (40 000 OpenImages
+// samples, 91 000 ImageNet samples); the whole suite still completes in a
+// few seconds because the evaluation replays profiled traces through the
+// discrete-event engine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 2024, "random seed for dataset generation")
+	openImages := flag.Int("openimages", 0, "OpenImages sample-count override (0 = paper scale, 40000)")
+	imageNet := flag.Int("imagenet", 0, "ImageNet sample-count override (0 = paper scale, 91000)")
+	out := flag.String("o", "", "write the report to this file instead of stdout")
+	csvDir := flag.String("csv", "", "also write one CSV per table into this directory")
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sophon-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	opts := eval.Options{Seed: *seed, OpenImages: *openImages, ImageNet: *imageNet}
+	if err := eval.RunAll(opts, w); err != nil {
+		fmt.Fprintf(os.Stderr, "sophon-bench: %v\n", err)
+		os.Exit(1)
+	}
+	if *csvDir != "" {
+		if err := eval.WriteCSVDir(opts, *csvDir); err != nil {
+			fmt.Fprintf(os.Stderr, "sophon-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "sophon-bench: CSVs written to %s\n", *csvDir)
+	}
+}

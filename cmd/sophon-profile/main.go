@@ -1,0 +1,140 @@
+// Command sophon-profile inspects a dataset profile the way SOPHON's
+// stage-2 profiler sees it: per-stage size distribution, min-stage
+// histogram, offloading-efficiency percentiles, and the decision the engine
+// would make in a given environment.
+//
+// Usage:
+//
+//	sophon-profile -profile openimages -cores 4 -mbps 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/gpu"
+	"repro/internal/netsim"
+	"repro/internal/persist"
+	"repro/internal/policy"
+)
+
+func main() {
+	profileName := flag.String("profile", "openimages", "dataset profile (openimages|imagenet)")
+	n := flag.Int("n", 0, "sample-count override (0 = paper scale)")
+	seed := flag.Uint64("seed", 2024, "generation seed")
+	cores := flag.Int("cores", 48, "storage cores for the planning preview")
+	mbps := flag.Float64("mbps", 500, "link bandwidth (Mbit/s)")
+	modelName := flag.String("model", "alexnet", "GPU model profile")
+	dumpTrace := flag.String("dump-trace", "", "write the generated trace to this file (for sophon-train -trace-file)")
+	dumpPlan := flag.String("dump-plan", "", "write the SOPHON plan to this file (for sophon-train -plan-file)")
+	flag.Parse()
+
+	var profile dataset.Profile
+	switch strings.ToLower(*profileName) {
+	case "openimages":
+		profile = dataset.OpenImages12G()
+	case "imagenet":
+		profile = dataset.ImageNet11G()
+	default:
+		fmt.Fprintf(os.Stderr, "sophon-profile: unknown profile %q\n", *profileName)
+		os.Exit(1)
+	}
+	if *n > 0 {
+		profile = profile.ScaledTo(*n)
+	}
+	model, err := gpu.ByName(*modelName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sophon-profile: %v\n", err)
+		os.Exit(1)
+	}
+
+	tr, err := dataset.GenerateTrace(profile, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sophon-profile: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("dataset %s: %d samples, %.2f GB raw (mean %.0f KB)\n",
+		tr.Name, tr.N(), float64(tr.TotalRawBytes())/1e9,
+		float64(tr.TotalRawBytes())/float64(tr.N())/1e3)
+	fmt.Printf("full preprocessing: %.0f CPU-seconds (%.1f ms/sample)\n",
+		tr.TotalPreprocessCPU().Seconds(),
+		tr.TotalPreprocessCPU().Seconds()/float64(tr.N())*1e3)
+
+	names := []string{"raw", "decode", "rrcrop", "flip", "totensor", "normalize"}
+	hist := tr.MinStageHistogram()
+	fmt.Println("\nmin-size stage histogram:")
+	for i, c := range hist {
+		fmt.Printf("  %-10s %6.2f%%  (%d samples)\n", names[i], 100*float64(c)/float64(tr.N()), c)
+	}
+	fmt.Printf("benefiting from offload: %.1f%%\n", 100*tr.FractionBenefiting())
+
+	cands := policy.Candidates(tr)
+	effs := make([]float64, 0, len(cands))
+	for _, c := range cands {
+		if c.Efficiency > 0 {
+			effs = append(effs, c.Efficiency)
+		}
+	}
+	sort.Float64s(effs)
+	if len(effs) > 0 {
+		fmt.Println("\noffloading efficiency among beneficiaries (MB saved / CPU-second):")
+		for _, p := range []int{10, 50, 90, 99} {
+			fmt.Printf("  p%-3d %8.2f\n", p, effs[p*(len(effs)-1)/100]/1e6)
+		}
+	}
+
+	env := policy.Env{
+		Bandwidth:       netsim.Mbps(*mbps),
+		ComputeCores:    48,
+		StorageCores:    *cores,
+		StorageSlowdown: 1,
+		GPU:             model,
+	}
+	plan, err := policy.NewSophon().Plan(tr, env)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sophon-profile: %v\n", err)
+		os.Exit(1)
+	}
+	m, err := policy.ModelFor(tr, plan, env)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sophon-profile: %v\n", err)
+		os.Exit(1)
+	}
+	base, _ := policy.NewUniformPlan("No-Off", tr.N(), 0)
+	bm, _ := policy.ModelFor(tr, base, env)
+	traffic, _ := plan.Traffic(tr)
+	fmt.Printf("\nSOPHON plan at %d storage cores, %.0f Mbps, %s:\n", *cores, *mbps, model.Name)
+	fmt.Printf("  offloaded %d/%d samples\n", plan.OffloadedCount(), tr.N())
+	splitHist := plan.SplitHistogram()
+	for k, c := range splitHist {
+		if k > 0 && c > 0 {
+			fmt.Printf("    split %d (%s prefix): %d samples\n", k, names[k], c)
+		}
+	}
+	fmt.Printf("  traffic   %.2f GB (No-Off %.2f GB, %.2fx reduction)\n",
+		float64(traffic)/1e9, float64(tr.TotalRawBytes())/1e9,
+		float64(tr.TotalRawBytes())/float64(traffic))
+	fmt.Printf("  epoch     T_G=%.1fs T_CC=%.1fs T_CS=%.1fs T_Net=%.1fs → %.1fs (No-Off %.1fs)\n",
+		m.TG.Seconds(), m.TCC.Seconds(), m.TCS.Seconds(), m.TNet.Seconds(),
+		m.Predicted().Seconds(), bm.Predicted().Seconds())
+
+	if *dumpTrace != "" {
+		if err := persist.SaveTrace(*dumpTrace, tr); err != nil {
+			fmt.Fprintf(os.Stderr, "sophon-profile: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace written to %s\n", *dumpTrace)
+	}
+	if *dumpPlan != "" {
+		if err := persist.SavePlan(*dumpPlan, plan); err != nil {
+			fmt.Fprintf(os.Stderr, "sophon-profile: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("plan written to %s\n", *dumpPlan)
+	}
+}

@@ -1,0 +1,128 @@
+// Command sophon-server runs the storage-node half of the system: an
+// in-memory object store holding a synthetic dataset, a near-storage
+// preprocessing executor with a bounded core budget, and the wire-protocol
+// server, optionally behind a token-bucket bandwidth cap (the paper's
+// 500 Mbps link).
+//
+// Usage:
+//
+//	sophon-server -addr :7070 -n 2000 -cores 4 -mbps 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/dataset"
+	"repro/internal/monitor"
+	"repro/internal/netsim"
+	"repro/internal/pipeline"
+	"repro/internal/storage"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	dataDir := flag.String("data-dir", "", "serve a datagen-written dataset directory instead of synthesizing")
+	n := flag.Int("n", 1000, "number of synthetic samples to materialize")
+	seed := flag.Uint64("seed", 1, "dataset seed")
+	name := flag.String("dataset", "synthetic", "dataset name")
+	minDim := flag.Int("min-dim", 80, "smallest image side (px)")
+	maxDim := flag.Int("max-dim", 480, "largest image side (px)")
+	crop := flag.Int("crop", 224, "RandomResizedCrop output side")
+	cores := flag.Int("cores", 4, "storage CPU cores for offloaded preprocessing (0 disables)")
+	slowdown := flag.Float64("slowdown", 1, "storage CPU slowdown factor (>= 1)")
+	mbps := flag.Float64("mbps", 0, "cap outbound bandwidth (Mbit/s; 0 = unshaped)")
+	httpAddr := flag.String("http", "", "serve /healthz, /stats, /metrics on this address (empty = disabled)")
+	idle := flag.Duration("idle-timeout", 0, "drop connections idle for this long (0 = never)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "sophon-server: ", log.LstdFlags)
+
+	var store *storage.Store
+	if *dataDir != "" {
+		logger.Printf("loading dataset from %s...", *dataDir)
+		ds, err := dataset.LoadDir(*dataDir)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		blobs, err := ds.Materialize()
+		if err != nil {
+			logger.Fatal(err)
+		}
+		store, err = storage.NewStore(ds.Name(), blobs)
+		if err != nil {
+			logger.Fatal(err)
+		}
+	} else {
+		logger.Printf("materializing %d samples (seed %d)...", *n, *seed)
+		set, err := dataset.NewSyntheticImageSet(dataset.SyntheticOptions{
+			Name: *name, N: *n, Seed: *seed, MinDim: *minDim, MaxDim: *maxDim,
+		})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		store, err = storage.FromImageSet(set)
+		if err != nil {
+			logger.Fatal(err)
+		}
+	}
+	logger.Printf("store ready: %d objects, %.1f MB", store.N(), float64(store.TotalBytes())/1e6)
+
+	srv, err := storage.NewServer(storage.ServerConfig{
+		Store:       store,
+		Pipeline:    pipeline.Standard(pipeline.StandardOptions{CropSize: *crop, FlipP: -1}),
+		Cores:       *cores,
+		Slowdown:    *slowdown,
+		IdleTimeout: *idle,
+		Logger:      logger,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	inner, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	var l net.Listener = inner
+	if *mbps > 0 {
+		bucket, err := netsim.NewTokenBucket(netsim.Mbps(*mbps), 256<<10, nil)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		l = netsim.ShapeListener(inner, bucket)
+		logger.Printf("link capped at %.0f Mbps", *mbps)
+	}
+
+	if *httpAddr != "" {
+		mon := monitor.New(nil, srv.Counters())
+		bound, err := mon.ListenAndServe(*httpAddr)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		defer mon.Close()
+		logger.Printf("monitoring on http://%s/{healthz,stats,metrics}", bound)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		logger.Print("shutting down")
+		srv.Close()
+	}()
+
+	logger.Printf("serving %q on %s (%d offload cores)", *name, inner.Addr(), *cores)
+	if err := srv.Serve(l); err != nil && err != storage.ErrServerClosed {
+		logger.Fatal(err)
+	}
+	c := srv.Counters()
+	fmt.Printf("served %d samples, executed %d ops, sent %.1f MB, burned %.2fs CPU\n",
+		c.SamplesServed.Load(), c.OpsExecuted.Load(),
+		float64(c.BytesSent.Load())/1e6, float64(c.CPUNanos.Load())/1e9)
+}

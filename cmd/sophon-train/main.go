@@ -1,0 +1,187 @@
+// Command sophon-train is the compute-node half: it connects to a running
+// sophon-server, runs the two-stage profiler (stage 1 throughput probes,
+// stage 2 on-the-fly per-sample profiling during epoch 1), asks the chosen
+// policy for an offload plan, and trains the remaining epochs under it.
+//
+// Usage:
+//
+//	sophon-train -addr 127.0.0.1:7070 -epochs 3 -policy sophon -mbps 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/netsim"
+	"repro/internal/persist"
+	"repro/internal/pipeline"
+	"repro/internal/policy"
+	"repro/internal/profiler"
+	"repro/internal/storage"
+	"repro/internal/trainsim"
+)
+
+func pickPolicy(name string) (policy.Policy, error) {
+	switch strings.ToLower(name) {
+	case "sophon":
+		return policy.NewSophon(), nil
+	case "sophon-guard":
+		return &policy.Sophon{StepGuard: true}, nil
+	case "nooff", "no-off":
+		return policy.NoOff{}, nil
+	case "alloff", "all-off":
+		return policy.AllOff{}, nil
+	case "resizeoff", "resize-off":
+		return policy.ResizeOff{}, nil
+	case "fastflow":
+		return policy.FastFlow{}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "storage server address")
+	jobID := flag.Uint64("job", 1, "job id (seeds augmentations)")
+	workers := flag.Int("workers", 4, "loader workers")
+	computeCores := flag.Int("compute-cores", 0, "local preprocessing cores (0 = workers)")
+	batch := flag.Int("batch", 32, "GPU batch size")
+	epochs := flag.Int("epochs", 3, "epochs to train (epoch 1 profiles)")
+	modelName := flag.String("model", "alexnet", "GPU model profile (alexnet|resnet18|resnet50)")
+	policyName := flag.String("policy", "sophon", "offload policy (sophon|sophon-guard|nooff|alloff|resizeoff|fastflow)")
+	crop := flag.Int("crop", 224, "RandomResizedCrop output side (must match server)")
+	mbps := flag.Float64("mbps", 500, "assumed link bandwidth for planning (Mbit/s)")
+	storageCores := flag.Int("storage-cores", 4, "assumed storage-node preprocessing cores for planning")
+	probeBatches := flag.Int("probe-batches", 50, "stage-1 probe batches")
+	planFile := flag.String("plan-file", "", "load a precomputed plan and skip profiling")
+	dumpTrace := flag.String("dump-trace", "", "write the measured stage-2 trace to this file")
+	fetchBatch := flag.Int("fetch-batch", 0, "samples per storage round trip (0 = one)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "sophon-train: ", log.LstdFlags)
+
+	model, err := gpu.ByName(*modelName)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	pol, err := pickPolicy(*policyName)
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	trainer, err := trainsim.New(trainsim.Config{
+		DialClient:     func() (trainsim.StorageClient, error) { return storage.Dial(*addr, *jobID) },
+		Workers:        *workers,
+		ComputeCores:   *computeCores,
+		Pipeline:       pipeline.Standard(pipeline.StandardOptions{CropSize: *crop, FlipP: -1}),
+		GPU:            model,
+		BatchSize:      *batch,
+		JobID:          *jobID,
+		Shuffle:        true,
+		FetchBatchSize: *fetchBatch,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	defer trainer.Close()
+	logger.Printf("connected: %d samples, training %s with %s", trainer.N(), model.Name, pol.Name())
+
+	// Precomputed plan: skip profiling entirely.
+	if *planFile != "" {
+		plan, err := persist.LoadPlan(*planFile)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		if plan.N() != trainer.N() {
+			logger.Fatalf("plan covers %d samples, dataset has %d", plan.N(), trainer.N())
+		}
+		logger.Printf("loaded plan %q: %d samples offloaded", plan.Name, plan.OffloadedCount())
+		for e := 1; e <= *epochs; e++ {
+			rep, err := trainer.RunEpoch(uint64(e), plan, nil)
+			if err != nil {
+				logger.Fatal(err)
+			}
+			printEpoch(e, rep)
+		}
+		return
+	}
+
+	// Stage 1: throughput probes.
+	stage1, err := profiler.RunStage1(trainer.Stage1Probes(), *probeBatches)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("stage 1: gpu=%.0f io=%.0f cpu=%.0f samples/s → %s",
+		stage1.GPUThroughput, stage1.IOThroughput, stage1.CPUThroughput, stage1.Bottleneck())
+
+	// Stage 2: profile during epoch 1.
+	collector, err := profiler.NewCollector(trainer.N())
+	if err != nil {
+		logger.Fatal(err)
+	}
+	rep, err := trainer.RunEpoch(1, nil, collector)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	printEpoch(1, rep)
+	trace, err := collector.Trace("measured")
+	if err != nil {
+		logger.Fatal(err)
+	}
+	if *dumpTrace != "" {
+		if err := persist.SaveTrace(*dumpTrace, trace); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("stage-2 trace written to %s", *dumpTrace)
+	}
+
+	env := policy.Env{
+		Bandwidth:       netsim.Mbps(*mbps),
+		ComputeCores:    maxInt(*computeCores, *workers),
+		StorageCores:    *storageCores,
+		StorageSlowdown: 1,
+		GPU:             model,
+	}
+	var plan *policy.Plan
+	if s, ok := pol.(*policy.Sophon); ok {
+		d, err := (&core.Framework{Engine: s}).DecideWithStage1(trace, env, stage1)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		plan = d.Plan
+		logger.Printf("decision: activated=%v offloaded=%d predicted speedup %.2fx",
+			d.Activated, plan.OffloadedCount(), d.PredictedSpeedup())
+	} else {
+		plan, err = pol.Plan(trace, env)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("%s plan offloads %d samples", pol.Name(), plan.OffloadedCount())
+	}
+
+	for e := 2; e <= *epochs; e++ {
+		rep, err := trainer.RunEpoch(uint64(e), plan, nil)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		printEpoch(e, rep)
+	}
+}
+
+func printEpoch(e int, r trainsim.EpochReport) {
+	fmt.Printf("epoch %d: %d samples in %v, fetched %.1f MB, offloaded %d, gpu util %.1f%%\n",
+		e, r.Samples, r.Duration.Round(1e6), float64(r.BytesFetched)/1e6,
+		r.Offloaded, 100*r.GPUUtilization)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

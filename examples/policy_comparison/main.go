@@ -1,0 +1,53 @@
+// Policy comparison: the paper's Figure 3 scenario at the model tier —
+// every offloading policy over both dataset profiles with ample storage
+// CPUs, reporting epoch time and per-epoch traffic.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sophon "repro"
+)
+
+func main() {
+	env := sophon.Env{
+		Bandwidth:       sophon.Mbps(500),
+		ComputeCores:    48,
+		StorageCores:    48,
+		StorageSlowdown: 1,
+		GPU:             sophon.AlexNet,
+	}
+
+	for _, spec := range []struct {
+		name    string
+		profile sophon.Profile
+	}{
+		{"OpenImages 12GB subset", sophon.OpenImagesProfile(0)},
+		{"ImageNet 11GB subset", sophon.ImageNetProfile(0)},
+	} {
+		trace, err := sophon.GenerateTrace(spec.profile, 2024)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s — %d samples, %.2f GB raw\n",
+			spec.name, trace.N(), float64(trace.TotalRawBytes())/1e9)
+		fmt.Printf("  %-12s %10s %14s %12s\n", "policy", "epoch", "traffic", "offloaded")
+
+		var noOffTraffic float64
+		for _, p := range sophon.AllPolicies() {
+			res, plan, err := sophon.SimulatePolicy(p, trace, env)
+			if err != nil {
+				log.Fatal(err)
+			}
+			traffic := float64(res.TrafficBytes) / 1e9
+			if p.Name() == "No-Off" {
+				noOffTraffic = traffic
+			}
+			fmt.Printf("  %-12s %9.1fs %10.2f GB %12d  (%.2fx No-Off traffic)\n",
+				p.Name(), res.EpochTime.Seconds(), traffic,
+				plan.OffloadedCount(), traffic/noOffTraffic)
+		}
+		fmt.Println()
+	}
+}

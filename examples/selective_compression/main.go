@@ -1,0 +1,65 @@
+// Selective compression: the paper's first future-work extension — on top
+// of a SOPHON offload plan, compress the transfers whose bytes-saved per
+// CPU-second justify it, and compare traffic and epoch time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sophon "repro"
+)
+
+func main() {
+	trace, err := sophon.GenerateTrace(sophon.OpenImagesProfile(0), 2024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	env := sophon.Env{
+		Bandwidth:       sophon.Mbps(500),
+		ComputeCores:    48,
+		StorageCores:    48,
+		StorageSlowdown: 1,
+		GPU:             sophon.AlexNet,
+	}
+
+	decision, err := sophon.Decide(trace, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := sophon.SimulateEpoch(trace, decision.Plan, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	model := sophon.DefaultCompressionModel()
+	sel, err := sophon.SelectCompression(trace, decision.Plan, env, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	adjusted, err := sophon.ApplyCompression(trace, decision.Plan, sel, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	compressed, err := sophon.SimulateEpoch(adjusted, decision.Plan, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	noOff, _, err := sophon.SimulatePolicy(sophon.NoOffPolicy(), trace, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("OpenImages @ 500 Mbps, 48 storage cores\n\n")
+	fmt.Printf("%-18s %10s %14s\n", "variant", "epoch", "traffic")
+	print := func(name string, epoch float64, traffic int64) {
+		fmt.Printf("%-18s %9.1fs %10.2f GB (%.2fx No-Off)\n",
+			name, epoch, float64(traffic)/1e9,
+			float64(traffic)/float64(noOff.TrafficBytes))
+	}
+	print("No-Off", noOff.EpochTime.Seconds(), noOff.TrafficBytes)
+	print("SOPHON", base.EpochTime.Seconds(), base.TrafficBytes)
+	print("SOPHON+compress", compressed.EpochTime.Seconds(), compressed.TrafficBytes)
+	fmt.Printf("\ncompressed transfers: %d of %d samples\n", sel.Count(), trace.N())
+}

@@ -1,0 +1,157 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/pipeline"
+	"repro/internal/storage"
+)
+
+// FetchingCache wraps a storage client with a local raw-object cache. Only
+// split-0 fetches are cacheable: partially preprocessed artifacts embed
+// per-epoch random augmentations and must be recomputed, which is the
+// paper's argument for keeping preprocessing online rather than storing
+// preprocessed datasets.
+type FetchingCache struct {
+	client *storage.Client
+	cache  Cache
+}
+
+// NewFetchingCache wraps client with cache.
+func NewFetchingCache(client *storage.Client, c Cache) *FetchingCache {
+	return &FetchingCache{client: client, cache: c}
+}
+
+// Fetch returns the sample's artifact. Raw fetches that hit the cache cost
+// zero wire bytes; raw misses populate the cache. Offloaded fetches bypass
+// the cache entirely.
+func (f *FetchingCache) Fetch(sample uint32, split int, epoch uint64) (storage.FetchResult, error) {
+	if split == 0 {
+		if data, ok := f.cache.Get(sample); ok {
+			return storage.FetchResult{
+				Artifact:  pipeline.RawArtifact(data),
+				Split:     0,
+				WireBytes: 0,
+			}, nil
+		}
+	}
+	res, err := f.client.Fetch(sample, split, epoch)
+	if err != nil {
+		return storage.FetchResult{}, err
+	}
+	if split == 0 && res.Artifact.Kind == pipeline.KindRaw {
+		f.cache.Put(sample, res.Artifact.Raw)
+	}
+	return res, nil
+}
+
+// FetchBatch serves cache hits locally and forwards the misses to the
+// server in a single batched round trip, preserving request order.
+func (f *FetchingCache) FetchBatch(samples []uint32, splits []int, epoch uint64) ([]storage.FetchResult, error) {
+	if len(samples) != len(splits) {
+		return nil, fmt.Errorf("cache: %d samples but %d splits", len(samples), len(splits))
+	}
+	out := make([]storage.FetchResult, len(samples))
+	var missSamples []uint32
+	var missSplits []int
+	var missIdx []int
+	for i := range samples {
+		if splits[i] == 0 {
+			if data, ok := f.cache.Get(samples[i]); ok {
+				out[i] = storage.FetchResult{Artifact: pipeline.RawArtifact(data)}
+				continue
+			}
+		}
+		missSamples = append(missSamples, samples[i])
+		missSplits = append(missSplits, splits[i])
+		missIdx = append(missIdx, i)
+	}
+	if len(missSamples) > 0 {
+		fetched, err := f.client.FetchBatch(missSamples, missSplits, epoch)
+		if err != nil {
+			return nil, err
+		}
+		for k, res := range fetched {
+			i := missIdx[k]
+			out[i] = res
+			if missSplits[k] == 0 && res.Artifact.Kind == pipeline.KindRaw {
+				f.cache.Put(missSamples[k], res.Artifact.Raw)
+			}
+		}
+	}
+	return out, nil
+}
+
+// NumSamples reports the dataset size from the wrapped client.
+func (f *FetchingCache) NumSamples() int { return f.client.NumSamples() }
+
+// Stats exposes the underlying cache counters.
+func (f *FetchingCache) Stats() Stats { return f.cache.Stats() }
+
+// Close closes the wrapped client.
+func (f *FetchingCache) Close() error { return f.client.Close() }
+
+// ExpectedHitFraction estimates the steady-state hit rate of a
+// uniform-eviction cache of capacityBytes over repeated full scans of a
+// dataset totaling totalBytes: the resident fraction.
+func ExpectedHitFraction(capacityBytes, totalBytes int64) float64 {
+	if totalBytes <= 0 || capacityBytes <= 0 {
+		return 0
+	}
+	f := float64(capacityBytes) / float64(totalBytes)
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// ApplyToTrace folds a steady-state cache into a trace copy: a
+// deterministic pseudo-random subset of samples totaling ~capacityBytes is
+// marked resident, and resident samples' raw (stage-0) wire size drops to
+// the 1-byte artifact header — they are served from local memory. Plans
+// computed over the adjusted trace automatically skip offloading resident
+// samples (their raw form is already free), so SOPHON composes with caching
+// for free.
+func ApplyToTrace(tr *dataset.Trace, capacityBytes int64, seed uint64) (*dataset.Trace, int) {
+	out := &dataset.Trace{Name: tr.Name + "+cache", Records: make([]dataset.Record, tr.N())}
+	copy(out.Records, tr.Records)
+	if capacityBytes <= 0 {
+		return out, 0
+	}
+	perm := permute(tr.N(), seed)
+	var used int64
+	resident := 0
+	for _, idx := range perm {
+		size := out.Records[idx].RawSize
+		if used+size > capacityBytes {
+			continue
+		}
+		used += size
+		out.Records[idx].StageSizes[0] = 1
+		resident++
+	}
+	return out, resident
+}
+
+// permute returns a deterministic permutation of [0, n).
+func permute(n int, seed uint64) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	s := seed
+	for i := n - 1; i > 0; i-- {
+		s = splitmix(s)
+		j := int(s % uint64(i+1))
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/gpu"
+	"repro/internal/netsim"
+	"repro/internal/policy"
+	"repro/internal/profiler"
+)
+
+func paperEnv(storageCores int) policy.Env {
+	return policy.Env{
+		Bandwidth:       netsim.Mbps(500),
+		ComputeCores:    48,
+		StorageCores:    storageCores,
+		StorageSlowdown: 1,
+		GPU:             gpu.AlexNet,
+	}
+}
+
+func openImages(t testing.TB, n int) *dataset.Trace {
+	t.Helper()
+	tr, err := dataset.GenerateTrace(dataset.OpenImages12G().ScaledTo(n), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestDecideValidation(t *testing.T) {
+	f := New()
+	if _, err := f.Decide(nil, paperEnv(4)); err == nil {
+		t.Fatal("accepted nil trace")
+	}
+	if _, err := f.Decide(&dataset.Trace{}, paperEnv(4)); err == nil {
+		t.Fatal("accepted empty trace")
+	}
+	tr := openImages(t, 50)
+	bad := paperEnv(4)
+	bad.ComputeCores = 0
+	if _, err := f.Decide(tr, bad); err == nil {
+		t.Fatal("accepted bad env")
+	}
+}
+
+func TestDecideActivatesOnIOBoundWorkload(t *testing.T) {
+	tr := openImages(t, 2000)
+	d, err := New().Decide(tr, paperEnv(48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Stage1.IOBound() {
+		t.Fatalf("stage 1 verdict: %+v", d.Stage1)
+	}
+	if !d.Activated || d.Plan.OffloadedCount() == 0 {
+		t.Fatal("framework did not activate offloading")
+	}
+	if d.Planned.Predicted() >= d.Baseline.Predicted() {
+		t.Fatalf("planned %v not faster than baseline %v", d.Planned.Predicted(), d.Baseline.Predicted())
+	}
+	if s := d.PredictedSpeedup(); s < 1.5 || s > 2.6 {
+		t.Fatalf("predicted speedup %.2f, want ~2x on OpenImages", s)
+	}
+}
+
+func TestDecideStaysOffWhenGPUBound(t *testing.T) {
+	tr := openImages(t, 500)
+	env := paperEnv(48)
+	env.GPU = gpu.ResNet50
+	env.Bandwidth = netsim.Mbps(50000)
+	d, err := New().Decide(tr, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Activated || d.Plan.OffloadedCount() != 0 {
+		t.Fatal("activated on a GPU-bound workload")
+	}
+	if d.PredictedSpeedup() != 1 {
+		t.Fatalf("speedup %v for inactive decision", d.PredictedSpeedup())
+	}
+}
+
+func TestDecideStaysOffWithoutStorageCores(t *testing.T) {
+	tr := openImages(t, 500)
+	d, err := New().Decide(tr, paperEnv(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Activated {
+		t.Fatal("activated with 0 storage cores")
+	}
+}
+
+func TestDecideWithMeasuredStage1Override(t *testing.T) {
+	tr := openImages(t, 500)
+	f := New()
+	// Measured probes say CPU-bound even though the analytic model says
+	// I/O-bound: the measured verdict wins and offloading deactivates.
+	measured := profiler.Stage1Result{GPUThroughput: 900, IOThroughput: 800, CPUThroughput: 100}
+	d, err := f.DecideWithStage1(tr, paperEnv(48), measured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Activated || d.Plan.OffloadedCount() != 0 {
+		t.Fatal("measured CPU-bound verdict did not deactivate offloading")
+	}
+	if d.Stage1 != measured {
+		t.Fatal("decision does not carry the measured stage-1 result")
+	}
+
+	// Measured I/O-bound verdict keeps the plan.
+	ioBound := profiler.Stage1Result{GPUThroughput: 3000, IOThroughput: 100, CPUThroughput: 900}
+	d, err = f.DecideWithStage1(tr, paperEnv(48), ioBound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Activated {
+		t.Fatal("measured I/O-bound verdict deactivated offloading")
+	}
+}
+
+func TestDecideHonorsCustomEngine(t *testing.T) {
+	tr := openImages(t, 800)
+	guarded := &Framework{Engine: &policy.Sophon{StepGuard: true}}
+	d, err := guarded.Decide(tr, paperEnv(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Plan.Name != "SOPHON+guard" {
+		t.Fatalf("plan name %q", d.Plan.Name)
+	}
+	base, err := New().Decide(tr, paperEnv(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Planned.Predicted() > base.Planned.Predicted() {
+		t.Fatalf("guarded engine (%v) worse than base (%v)", d.Planned.Predicted(), base.Planned.Predicted())
+	}
+}

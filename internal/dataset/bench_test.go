@@ -1,0 +1,37 @@
+package dataset
+
+import "testing"
+
+func BenchmarkGenerateTrace40k(b *testing.B) {
+	p := OpenImages12G()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateTrace(p, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinStageHistogram40k(b *testing.B) {
+	tr, err := GenerateTrace(OpenImages12G(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.MinStageHistogram()
+	}
+}
+
+func BenchmarkSyntheticImageRaw(b *testing.B) {
+	set, err := NewSyntheticImageSet(SyntheticOptions{N: 16, Seed: 1, MinDim: 200, MaxDim: 400})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := set.Raw(i % 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

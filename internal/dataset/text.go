@@ -1,0 +1,72 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+)
+
+// TextProfile models an LLM pre-training shard workload — the scenario the
+// paper's Discussion singles out as one SOPHON does not help: token shards
+// are already densely packed binary, tokenization-style preprocessing barely
+// changes their size, and no intermediate stage is smaller than the stored
+// form.
+type TextProfile struct {
+	Name string
+	N    int
+
+	// Shard size in bytes: lognormal over ln-bytes.
+	SizeMu    float64
+	SizeSigma float64
+
+	// PreprocessNsPerByte is the (cheap) per-byte cost of the shard
+	// pipeline (parse, pack, shift labels), spread across the five op
+	// slots so the record shape matches the image pipeline's.
+	PreprocessNsPerByte float64
+}
+
+// TextShards1G is a representative 1 GB-scale LLM shard profile.
+func TextShards1G() TextProfile {
+	return TextProfile{
+		Name:   "text-shards-1g",
+		N:      4000,
+		SizeMu: math.Log(256 << 10), SizeSigma: 0.15,
+		PreprocessNsPerByte: 2,
+	}
+}
+
+// GenerateTextTrace draws a trace whose samples never shrink during
+// preprocessing: every stage ships essentially the stored bytes, so
+// Candidates finds nothing to offload and SOPHON correctly degenerates to
+// No-Off.
+func GenerateTextTrace(p TextProfile, seed uint64) (*Trace, error) {
+	if p.N <= 0 {
+		return nil, fmt.Errorf("dataset: text profile %q has N=%d", p.Name, p.N)
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x1ce4_e5b9))
+	tr := &Trace{Name: p.Name, Records: make([]Record, p.N)}
+	for i := 0; i < p.N; i++ {
+		size := int64(math.Exp(p.SizeMu + p.SizeSigma*rng.NormFloat64()))
+		if size < 1024 {
+			size = 1024
+		}
+		perOp := time.Duration(p.PreprocessNsPerByte * float64(size) / OpCount)
+		rec := Record{
+			ID:      uint32(i),
+			RawSize: size,
+			Width:   0,
+			Height:  0,
+		}
+		for k := 0; k < StageCount; k++ {
+			// Token shards stay byte-for-byte the same size through the
+			// pipeline (plus the artifact framing byte at stage 0).
+			rec.StageSizes[k] = size + 1
+		}
+		for k := 0; k < OpCount; k++ {
+			rec.OpTimes[k] = perOp
+		}
+		tr.Records[i] = rec
+	}
+	return tr, nil
+}

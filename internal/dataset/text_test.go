@@ -1,0 +1,52 @@
+package dataset
+
+import "testing"
+
+func TestGenerateTextTraceValidates(t *testing.T) {
+	p := TextShards1G()
+	p.N = 0
+	if _, err := GenerateTextTrace(p, 1); err == nil {
+		t.Fatal("accepted N=0")
+	}
+}
+
+func TestTextTraceNeverShrinks(t *testing.T) {
+	tr, err := GenerateTextTrace(TextShards1G(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N() != 4000 {
+		t.Fatalf("N = %d", tr.N())
+	}
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		if r.MinStage() != 0 {
+			t.Fatalf("shard %d min stage %d, want raw", i, r.MinStage())
+		}
+		for k := 1; k < StageCount; k++ {
+			if r.StageSizes[k] != r.StageSizes[0] {
+				t.Fatalf("shard %d stage %d size %d != raw %d", i, k, r.StageSizes[k], r.StageSizes[0])
+			}
+		}
+		if r.TotalTime() <= 0 {
+			t.Fatalf("shard %d has no preprocessing cost", i)
+		}
+	}
+	if tr.FractionBenefiting() != 0 {
+		t.Fatalf("benefiting fraction %v on a flat trace", tr.FractionBenefiting())
+	}
+}
+
+func TestTextTraceDeterministic(t *testing.T) {
+	a, _ := GenerateTextTrace(TextShards1G(), 9)
+	b, _ := GenerateTextTrace(TextShards1G(), 9)
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+	c, _ := GenerateTextTrace(TextShards1G(), 10)
+	if a.Records[0] == c.Records[0] && a.Records[1] == c.Records[1] {
+		t.Fatal("different seeds produced identical shards")
+	}
+}

@@ -1,0 +1,46 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+)
+
+func BenchmarkEpochSimulation40k(b *testing.B) {
+	tr := openImages(b, 40000)
+	plan := noOffPlan(b, tr)
+	cfg := Config{Trace: tr, Plan: plan, Env: env(4)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEpochSimulationSophon40k(b *testing.B) {
+	tr := openImages(b, 40000)
+	e := env(4)
+	plan, err := policy.NewSophon().Plan(tr, e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{Trace: tr, Plan: plan, Env: e}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanAndSimulate40k(b *testing.B) {
+	tr := openImages(b, 40000)
+	e := env(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := RunPolicy(policy.NewSophon(), tr, e, 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+// Package engine is a discrete-event simulator of one training epoch over
+// the disaggregated setup: storage-node CPU pool → capped network link →
+// compute-node CPU pool → GPU with batch semantics. It replays a profiled
+// trace under an offload plan and reports epoch time, per-resource busy
+// time, and traffic — the quantities behind the paper's Figures 1d, 3, and
+// 4. The live trainer (internal/trainsim) exercises the same policies over
+// real sockets; the engine exists so full 40k–91k-sample epochs simulate in
+// milliseconds, deterministically.
+package engine
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/policy"
+)
+
+// Config describes one epoch simulation.
+type Config struct {
+	Trace *dataset.Trace
+	Plan  *policy.Plan
+	Env   policy.Env
+
+	// BatchSize is the GPU batch size; 0 means 256.
+	BatchSize int
+	// PrefetchWindow bounds in-flight samples (loader prefetch depth);
+	// 0 means 4×BatchSize. Must be ≥ BatchSize.
+	PrefetchWindow int
+	// RequestOverheadBytes is added per sample for protocol framing;
+	// 0 means DefaultRequestOverhead.
+	RequestOverheadBytes int
+	// RTT is the request/response round-trip latency added to each fetch
+	// before its transfer starts (propagation, not bandwidth). Deep
+	// prefetching hides it almost entirely, as in real loaders.
+	RTT time.Duration
+	// ShuffleSeed, when non-zero, permutes the sample visit order the way
+	// a real epoch shuffle does. Zero keeps trace order.
+	ShuffleSeed uint64
+}
+
+// DefaultRequestOverhead approximates the wire package's per-fetch framing
+// (request frame + response header).
+const DefaultRequestOverhead = 49
+
+// Result summarizes a simulated epoch.
+type Result struct {
+	EpochTime    time.Duration
+	TrafficBytes int64
+
+	StorageBusy time.Duration // summed storage-core busy time
+	LinkBusy    time.Duration // link transmit time
+	ComputeBusy time.Duration // summed compute-core busy time
+	GPUBusy     time.Duration
+
+	GPUUtilization   float64
+	SamplesOffloaded int
+	Batches          int
+}
+
+// multiServer models a k-server FIFO resource by tracking per-server free
+// times in a min-heap.
+type multiServer struct {
+	free timeHeap
+	busy time.Duration
+}
+
+type timeHeap []time.Duration
+
+func (h timeHeap) Len() int            { return len(h) }
+func (h timeHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h timeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timeHeap) Push(x interface{}) { *h = append(*h, x.(time.Duration)) }
+func (h *timeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+func newMultiServer(servers int) *multiServer {
+	m := &multiServer{free: make(timeHeap, servers)}
+	heap.Init(&m.free)
+	return m
+}
+
+// schedule runs a job arriving at arrival for dur on the earliest-free
+// server and returns its completion time.
+func (m *multiServer) schedule(arrival, dur time.Duration) time.Duration {
+	start := m.free[0]
+	if arrival > start {
+		start = arrival
+	}
+	end := start + dur
+	m.free[0] = end
+	heap.Fix(&m.free, 0)
+	m.busy += dur
+	return end
+}
+
+// Run simulates the epoch.
+func Run(cfg Config) (Result, error) {
+	if cfg.Trace == nil || cfg.Trace.N() == 0 {
+		return Result{}, errors.New("engine: empty trace")
+	}
+	if cfg.Plan == nil {
+		return Result{}, errors.New("engine: nil plan")
+	}
+	if err := cfg.Env.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Plan.N() != cfg.Trace.N() {
+		return Result{}, fmt.Errorf("engine: plan covers %d samples, trace has %d", cfg.Plan.N(), cfg.Trace.N())
+	}
+	batch := cfg.BatchSize
+	if batch == 0 {
+		batch = 256
+	}
+	if batch < 1 {
+		return Result{}, fmt.Errorf("engine: batch size %d", batch)
+	}
+	window := cfg.PrefetchWindow
+	if window == 0 {
+		window = 4 * batch
+	}
+	if window < batch {
+		return Result{}, fmt.Errorf("engine: prefetch window %d < batch %d", window, batch)
+	}
+	overhead := cfg.RequestOverheadBytes
+	if overhead == 0 {
+		overhead = DefaultRequestOverhead
+	}
+
+	n := cfg.Trace.N()
+	offloaded := 0
+	for i := 0; i < n; i++ {
+		if cfg.Plan.Split(i) > 0 {
+			offloaded++
+		}
+	}
+	if offloaded > 0 && cfg.Env.StorageCores == 0 {
+		return Result{}, errors.New("engine: plan offloads but storage has 0 cores")
+	}
+
+	var storagePool *multiServer
+	if cfg.Env.StorageCores > 0 {
+		storagePool = newMultiServer(cfg.Env.StorageCores)
+	}
+	link := newMultiServer(1)
+	computePool := newMultiServer(cfg.Env.ComputeCores)
+	gpuPool := newMultiServer(cfg.Env.GPUs())
+
+	// consumed[i] is when sample i's batch left the GPU; the loader may
+	// only hold `window` samples in flight.
+	consumed := make([]time.Duration, n)
+	batchReady := time.Duration(0) // max ready time in the current batch
+	batchStart := 0
+	var traffic int64
+	var lastGPUEnd time.Duration
+	batches := 0
+
+	flushBatch := func(upto int) {
+		// Samples [batchStart, upto) form a batch; run it on the
+		// earliest-free accelerator.
+		size := upto - batchStart
+		if size <= 0 {
+			return
+		}
+		end := gpuPool.schedule(batchReady, cfg.Env.GPU.BatchTime(size))
+		for i := batchStart; i < upto; i++ {
+			consumed[i] = end
+		}
+		if end > lastGPUEnd {
+			lastGPUEnd = end
+		}
+		batchStart = upto
+		batchReady = 0
+		batches++
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if cfg.ShuffleSeed != 0 {
+		rng := rand.New(rand.NewPCG(cfg.ShuffleSeed, cfg.ShuffleSeed^0xb533_1157))
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+
+	for i := 0; i < n; i++ {
+		var gate time.Duration
+		if i >= window {
+			gate = consumed[i-window]
+		}
+		rec := &cfg.Trace.Records[order[i]]
+		split := cfg.Plan.Split(order[i])
+
+		// Storage-side prefix under the core budget.
+		t := gate
+		if split > 0 {
+			dur := time.Duration(float64(rec.PrefixTime(split)) * cfg.Env.StorageSlowdown)
+			t = storagePool.schedule(t, dur)
+		}
+
+		// Link transfer, serialized at the configured bandwidth. The RTT
+		// delays the transfer's start but does not occupy the link.
+		bytes := rec.StageSizes[split] + int64(overhead)
+		traffic += bytes
+		xfer := time.Duration(float64(bytes) / cfg.Env.Bandwidth * float64(time.Second))
+		t = link.schedule(t+cfg.RTT, xfer)
+
+		// Local suffix on the compute pool.
+		suffix := rec.TotalTime() - rec.PrefixTime(split)
+		if suffix > 0 {
+			t = computePool.schedule(t, suffix)
+		}
+
+		if t > batchReady {
+			batchReady = t
+		}
+		if i-batchStart+1 == batch {
+			flushBatch(i + 1)
+		}
+	}
+	flushBatch(n) // trailing partial batch
+
+	res := Result{
+		EpochTime:        lastGPUEnd,
+		TrafficBytes:     traffic,
+		LinkBusy:         link.busy,
+		ComputeBusy:      computePool.busy,
+		GPUBusy:          gpuPool.busy,
+		SamplesOffloaded: offloaded,
+		Batches:          batches,
+	}
+	if storagePool != nil {
+		res.StorageBusy = storagePool.busy
+	}
+	if res.EpochTime > 0 {
+		res.GPUUtilization = float64(res.GPUBusy) / float64(res.EpochTime) / float64(cfg.Env.GPUs())
+	}
+	return res, nil
+}
+
+// RunPolicy plans with p and simulates the resulting epoch — the common
+// composition used by the evaluation harness.
+func RunPolicy(p policy.Policy, tr *dataset.Trace, env policy.Env, batch int) (Result, *policy.Plan, error) {
+	plan, err := p.Plan(tr, env)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	res, err := Run(Config{Trace: tr, Plan: plan, Env: env, BatchSize: batch})
+	if err != nil {
+		return Result{}, nil, err
+	}
+	return res, plan, nil
+}

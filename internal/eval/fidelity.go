@@ -1,0 +1,101 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/pipeline"
+	"repro/internal/profiler"
+)
+
+// FidelityResult checks the model tier against the real tier: records
+// measured by running the real codec and real ops must obey exactly the
+// wire-size law the trace generator assumes, and their offload structure
+// (which stage is minimal) must follow from raw size vs crop-artifact size
+// the same way.
+type FidelityResult struct {
+	Samples          int
+	LawViolations    int     // measured stage sizes that break the artifact size law
+	MinStageMismatch int     // samples whose min stage isn't argmin(raw, decode, crop)
+	Benefiting       float64 // fraction with min stage > 0 in the real tier
+}
+
+// ValidateGenerator renders n real synthetic photos, measures them through
+// the real pipeline (profiler stage 2), and audits every record against the
+// model tier's assumptions. DESIGN.md's substitution argument rests on this
+// correspondence.
+func ValidateGenerator(n int, seed uint64) (FidelityResult, Table, error) {
+	if n <= 0 {
+		n = 96
+	}
+	set, err := dataset.NewSyntheticImageSet(dataset.SyntheticOptions{
+		Name: "fidelity", N: n, Seed: seed, MinDim: 64, MaxDim: 420,
+	})
+	if err != nil {
+		return FidelityResult{}, Table{}, err
+	}
+	const crop = 128
+	p := pipeline.Standard(pipeline.StandardOptions{CropSize: crop, FlipP: -1})
+	collector, err := profiler.NewCollector(n)
+	if err != nil {
+		return FidelityResult{}, Table{}, err
+	}
+	for i := 0; i < n; i++ {
+		raw, err := set.Raw(i)
+		if err != nil {
+			return FidelityResult{}, Table{}, err
+		}
+		meta, err := set.Meta(i)
+		if err != nil {
+			return FidelityResult{}, Table{}, err
+		}
+		_, st, err := p.Trace(raw, pipeline.Seed{Job: seed, Epoch: 1, Sample: uint64(i)})
+		if err != nil {
+			return FidelityResult{}, Table{}, err
+		}
+		if err := collector.Observe(uint32(i), st, meta.W, meta.H); err != nil {
+			return FidelityResult{}, Table{}, err
+		}
+	}
+	tr, err := collector.Trace("fidelity")
+	if err != nil {
+		return FidelityResult{}, Table{}, err
+	}
+
+	res := FidelityResult{Samples: n, Benefiting: tr.FractionBenefiting()}
+	cropWire := int64(pipeline.ImageWireSize(crop, crop))
+	tensorWire := int64(pipeline.TensorWireSize(3, crop, crop))
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		// The artifact size law the trace generator assumes.
+		if r.StageSizes[0] != int64(pipeline.RawWireSize(int(r.RawSize))) ||
+			r.StageSizes[1] != int64(pipeline.ImageWireSize(r.Width, r.Height)) ||
+			r.StageSizes[2] != cropWire || r.StageSizes[3] != cropWire ||
+			r.StageSizes[4] != tensorWire || r.StageSizes[5] != tensorWire {
+			res.LawViolations++
+		}
+		// Min stage must be the argmin over {raw, decode, crop} (tensor
+		// stages are always the largest).
+		want := 0
+		if r.StageSizes[1] < r.StageSizes[want] {
+			want = 1
+		}
+		if cropWire < r.StageSizes[want] {
+			want = 2
+		}
+		if r.MinStage() != want {
+			res.MinStageMismatch++
+		}
+	}
+	t := Table{
+		Title:   "Fidelity: real-tier measurements vs the model tier's assumptions",
+		Columns: []string{"Metric", "Value"},
+	}
+	t.AddRow("samples measured (real codec + real ops)", fmt.Sprintf("%d", res.Samples))
+	t.AddRow("artifact size-law violations", fmt.Sprintf("%d", res.LawViolations))
+	t.AddRow("min-stage mismatches", fmt.Sprintf("%d", res.MinStageMismatch))
+	t.AddRow("benefiting fraction (real tier)", fmtF(res.Benefiting, 3))
+	t.Notes = append(t.Notes,
+		"zero violations ⇒ the statistical trace generator and the real pipeline share one size law")
+	return res, t, nil
+}

@@ -1,0 +1,181 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/policy"
+)
+
+// PolicyRun is one bar of Figures 3/4: a policy's epoch outcome.
+type PolicyRun struct {
+	Policy       string
+	EpochSeconds float64
+	TrafficGB    float64
+	Offloaded    int
+	StorageBusy  time.Duration
+}
+
+// Fig3Result holds the ample-CPU comparison for one dataset.
+type Fig3Result struct {
+	Dataset string
+	Runs    []PolicyRun
+}
+
+// Run looks up a policy's outcome by name.
+func (r Fig3Result) Run(name string) (PolicyRun, bool) {
+	for _, run := range r.Runs {
+		if run.Policy == name {
+			return run, true
+		}
+	}
+	return PolicyRun{}, false
+}
+
+// runPolicies simulates every policy over a trace.
+func runPolicies(tr *dataset.Trace, env policy.Env) ([]PolicyRun, error) {
+	var runs []PolicyRun
+	for _, p := range policy.All() {
+		res, plan, err := engine.RunPolicy(p, tr, env, 256)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s on %s: %w", p.Name(), tr.Name, err)
+		}
+		runs = append(runs, PolicyRun{
+			Policy:       p.Name(),
+			EpochSeconds: res.EpochTime.Seconds(),
+			TrafficGB:    gb(res.TrafficBytes),
+			Offloaded:    plan.OffloadedCount(),
+			StorageBusy:  res.StorageBusy,
+		})
+	}
+	return runs, nil
+}
+
+// Figure3 reproduces the ample-CPU evaluation: per-epoch training time and
+// data traffic for every policy on both datasets with 48 storage cores.
+func Figure3(opts Options) ([]Fig3Result, Table, error) {
+	t := Table{
+		Title:   "Figure 3: per-epoch training time and data traffic, ample (48) storage cores",
+		Columns: []string{"Dataset", "Policy", "Epoch (s)", "Traffic (GB)", "Traffic vs No-Off", "Offloaded"},
+	}
+	var out []Fig3Result
+	for _, pr := range []dataset.Profile{profileOI(opts), profileIN(opts)} {
+		tr, err := dataset.GenerateTrace(pr, opts.seed())
+		if err != nil {
+			return nil, Table{}, err
+		}
+		runs, err := runPolicies(tr, DefaultEnv(48))
+		if err != nil {
+			return nil, Table{}, err
+		}
+		res := Fig3Result{Dataset: pr.Name, Runs: runs}
+		base, _ := res.Run("No-Off")
+		for _, run := range runs {
+			t.AddRow(pr.Name, run.Policy,
+				fmtF(run.EpochSeconds, 1),
+				fmtF(run.TrafficGB, 2),
+				fmtF(run.TrafficGB/base.TrafficGB, 2)+"x",
+				fmt.Sprintf("%d", run.Offloaded))
+		}
+		out = append(out, res)
+	}
+	return out, t, nil
+}
+
+// Fig4Result holds the limited-CPU sweep on OpenImages.
+type Fig4Result struct {
+	Cores []int
+	// Runs maps policy name to one PolicyRun per core count (same order
+	// as Cores).
+	Runs map[string][]PolicyRun
+}
+
+// Figure4 sweeps storage-core budgets on OpenImages for every policy.
+func Figure4(opts Options) (Fig4Result, Table, error) {
+	tr, err := dataset.GenerateTrace(profileOI(opts), opts.seed())
+	if err != nil {
+		return Fig4Result{}, Table{}, err
+	}
+	res := Fig4Result{
+		Cores: []int{0, 1, 2, 3, 4, 5, 6, 8},
+		Runs:  map[string][]PolicyRun{},
+	}
+	t := Table{
+		Title:   "Figure 4: OpenImages epoch time (s) vs storage-node CPU cores",
+		Columns: append([]string{"Policy"}, coreColumns(res.Cores)...),
+	}
+	for _, p := range policy.All() {
+		row := []string{p.Name()}
+		for _, cores := range res.Cores {
+			env := DefaultEnv(cores)
+			r, plan, err := engine.RunPolicy(p, tr, env, 256)
+			if err != nil {
+				return Fig4Result{}, Table{}, fmt.Errorf("eval: %s at %d cores: %w", p.Name(), cores, err)
+			}
+			res.Runs[p.Name()] = append(res.Runs[p.Name()], PolicyRun{
+				Policy:       p.Name(),
+				EpochSeconds: r.EpochTime.Seconds(),
+				TrafficGB:    gb(r.TrafficBytes),
+				Offloaded:    plan.OffloadedCount(),
+				StorageBusy:  r.StorageBusy,
+			})
+			row = append(row, fmtF(r.EpochTime.Seconds(), 1))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes, "All-Off/Resize-Off/SOPHON fall back to no offloading at 0 cores")
+	return res, t, nil
+}
+
+func coreColumns(cores []int) []string {
+	out := make([]string, len(cores))
+	for i, c := range cores {
+		out[i] = fmt.Sprintf("%dc", c)
+	}
+	return out
+}
+
+// HeadlineRow is one scenario of the paper's 1.2–2.2× claim.
+type HeadlineRow struct {
+	Scenario         string
+	TrafficReduction float64 // No-Off traffic / SOPHON traffic
+	TimeSpeedup      float64 // best-baseline epoch / SOPHON epoch
+}
+
+// Headline computes the paper's abstract-level claim — SOPHON reduces data
+// traffic and training time by 1.2–2.2× over existing solutions — from the
+// Figure 3 runs.
+func Headline(opts Options) ([]HeadlineRow, Table, error) {
+	fig3, _, err := Figure3(opts)
+	if err != nil {
+		return nil, Table{}, err
+	}
+	t := Table{
+		Title:   "Headline: SOPHON vs existing solutions",
+		Columns: []string{"Scenario", "Traffic reduction", "Epoch speedup vs best baseline"},
+	}
+	var rows []HeadlineRow
+	for _, res := range fig3 {
+		sophon, ok := res.Run("SOPHON")
+		if !ok {
+			return nil, Table{}, fmt.Errorf("eval: no SOPHON run for %s", res.Dataset)
+		}
+		noOff, _ := res.Run("No-Off")
+		bestBaseline := noOff
+		for _, run := range res.Runs {
+			if run.Policy != "SOPHON" && run.EpochSeconds < bestBaseline.EpochSeconds {
+				bestBaseline = run
+			}
+		}
+		row := HeadlineRow{
+			Scenario:         res.Dataset + " @48 cores",
+			TrafficReduction: noOff.TrafficGB / sophon.TrafficGB,
+			TimeSpeedup:      bestBaseline.EpochSeconds / sophon.EpochSeconds,
+		}
+		rows = append(rows, row)
+		t.AddRow(row.Scenario, fmtF(row.TrafficReduction, 2)+"x", fmtF(row.TimeSpeedup, 2)+"x")
+	}
+	return rows, t, nil
+}

@@ -1,0 +1,77 @@
+// Package gpu models the training accelerator. The paper's results depend
+// on GPU speed only through per-model training throughput (images/second),
+// so a Model is a calibrated throughput plus batch semantics. The profiles
+// reproduce the paper's Figure 1d regime: under a 500 Mbps link, ResNet50
+// is compute-bound (near-full utilization), ResNet18 is ~35 % utilized, and
+// AlexNet — the evaluation model — is heavily fetch-bound.
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Model is a neural network's training-speed profile on the reference GPU.
+type Model struct {
+	Name       string
+	Throughput float64 // images per second at steady state
+}
+
+// Calibrated profiles (images/second on the paper's class of GPU).
+var (
+	AlexNet  = Model{Name: "alexnet", Throughput: 3000}
+	ResNet18 = Model{Name: "resnet18", Throughput: 620}
+	ResNet50 = Model{Name: "resnet50", Throughput: 210}
+)
+
+// Models lists the built-in profiles.
+func Models() []Model { return []Model{AlexNet, ResNet18, ResNet50} }
+
+// ErrUnknownModel reports a name with no registered profile.
+var ErrUnknownModel = errors.New("gpu: unknown model")
+
+// ByName resolves a built-in profile.
+func ByName(name string) (Model, error) {
+	for _, m := range Models() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Model{}, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+}
+
+// Valid reports whether the model has a usable throughput.
+func (m Model) Valid() bool { return m.Throughput > 0 }
+
+// BatchTime returns the GPU busy time for one batch of the given size.
+func (m Model) BatchTime(batchSize int) time.Duration {
+	if batchSize <= 0 || !m.Valid() {
+		return 0
+	}
+	return time.Duration(float64(batchSize) / m.Throughput * float64(time.Second))
+}
+
+// EpochTime returns the pure GPU compute time for n samples — the paper's
+// T_G metric.
+func (m Model) EpochTime(n int) time.Duration {
+	if n <= 0 || !m.Valid() {
+		return 0
+	}
+	return time.Duration(float64(n) / m.Throughput * float64(time.Second))
+}
+
+// Utilization is GPU busy time over total epoch time, clamped to [0, 1].
+func Utilization(busy, epoch time.Duration) float64 {
+	if epoch <= 0 {
+		return 0
+	}
+	u := float64(busy) / float64(epoch)
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}

@@ -1,0 +1,38 @@
+package imaging
+
+import "testing"
+
+// FuzzDecode: the SJPG decoder must never panic or over-allocate on
+// arbitrary input, and accepted images must re-encode/decode consistently.
+func FuzzDecode(f *testing.F) {
+	for _, seed := range []uint64{1, 2} {
+		im, err := Synthesize(SynthParams{W: 16, H: 12, Detail: 0.5, Seed: seed})
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := EncodeDefault(im)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte("SJPG"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		im, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if im.W <= 0 || im.H <= 0 || len(im.Pix) != im.W*im.H*Channels {
+			t.Fatalf("accepted image has inconsistent geometry: %dx%d, %d bytes", im.W, im.H, len(im.Pix))
+		}
+		re, err := Encode(im, 80)
+		if err != nil {
+			t.Fatalf("accepted image failed to re-encode: %v", err)
+		}
+		if _, err := Decode(re); err != nil {
+			t.Fatalf("re-encoded image failed to decode: %v", err)
+		}
+	})
+}

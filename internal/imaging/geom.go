@@ -1,0 +1,108 @@
+package imaging
+
+import "fmt"
+
+// Rect is an axis-aligned pixel rectangle with inclusive origin and
+// exclusive extent, i.e. it covers x in [X, X+W) and y in [Y, Y+H).
+type Rect struct {
+	X, Y, W, H int
+}
+
+// Valid reports whether the rectangle has positive area.
+func (r Rect) Valid() bool { return r.W > 0 && r.H > 0 }
+
+// Within reports whether the rectangle lies fully inside a w×h image.
+func (r Rect) Within(w, h int) bool {
+	return r.Valid() && r.X >= 0 && r.Y >= 0 && r.X+r.W <= w && r.Y+r.H <= h
+}
+
+// Crop returns a copy of the sub-image covered by rect.
+func Crop(im *Image, rect Rect) (*Image, error) {
+	if !rect.Within(im.W, im.H) {
+		return nil, fmt.Errorf("%w: crop %+v of %dx%d", ErrBadDimensions, rect, im.W, im.H)
+	}
+	out := MustNew(rect.W, rect.H)
+	for y := 0; y < rect.H; y++ {
+		srcOff := im.offset(rect.X, rect.Y+y)
+		dstOff := out.offset(0, y)
+		copy(out.Pix[dstOff:dstOff+rect.W*Channels], im.Pix[srcOff:srcOff+rect.W*Channels])
+	}
+	return out, nil
+}
+
+// Resize scales the image to w×h using bilinear interpolation. It matches
+// the sampling used by common DL preprocessing (align-corners=false).
+func Resize(im *Image, w, h int) (*Image, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("%w: resize to %dx%d", ErrBadDimensions, w, h)
+	}
+	if w == im.W && h == im.H {
+		return im.Clone(), nil
+	}
+	out := MustNew(w, h)
+	xRatio := float64(im.W) / float64(w)
+	yRatio := float64(im.H) / float64(h)
+	for y := 0; y < h; y++ {
+		srcY := (float64(y)+0.5)*yRatio - 0.5
+		if srcY < 0 {
+			srcY = 0
+		}
+		y0 := int(srcY)
+		y1 := y0 + 1
+		if y1 >= im.H {
+			y1 = im.H - 1
+		}
+		fy := srcY - float64(y0)
+		for x := 0; x < w; x++ {
+			srcX := (float64(x)+0.5)*xRatio - 0.5
+			if srcX < 0 {
+				srcX = 0
+			}
+			x0 := int(srcX)
+			x1 := x0 + 1
+			if x1 >= im.W {
+				x1 = im.W - 1
+			}
+			fx := srcX - float64(x0)
+
+			o00 := im.offset(x0, y0)
+			o10 := im.offset(x1, y0)
+			o01 := im.offset(x0, y1)
+			o11 := im.offset(x1, y1)
+			dst := out.offset(x, y)
+			for c := 0; c < Channels; c++ {
+				top := float64(im.Pix[o00+c])*(1-fx) + float64(im.Pix[o10+c])*fx
+				bot := float64(im.Pix[o01+c])*(1-fx) + float64(im.Pix[o11+c])*fx
+				v := top*(1-fy) + bot*fy
+				out.Pix[dst+c] = uint8(v + 0.5)
+			}
+		}
+	}
+	return out, nil
+}
+
+// FlipHorizontal mirrors the image around its vertical axis, returning a new
+// image.
+func FlipHorizontal(im *Image) *Image {
+	out := MustNew(im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			src := im.offset(x, y)
+			dst := out.offset(im.W-1-x, y)
+			out.Pix[dst] = im.Pix[src]
+			out.Pix[dst+1] = im.Pix[src+1]
+			out.Pix[dst+2] = im.Pix[src+2]
+		}
+	}
+	return out
+}
+
+// CropResize crops rect and resizes the result to w×h in one call; it is the
+// kernel of RandomResizedCrop.
+func CropResize(im *Image, rect Rect, w, h int) (*Image, error) {
+	cropped, err := Crop(im, rect)
+	if err != nil {
+		return nil, err
+	}
+	return Resize(cropped, w, h)
+}

@@ -1,0 +1,118 @@
+// Package imaging implements the pixel-level substrate for the preprocessing
+// pipeline: an interleaved RGB image type, geometric transforms
+// (crop/resize/flip), a synthetic photo generator, and SJPG — a real lossy
+// codec (YCbCr conversion, chroma subsampling, delta prediction, DEFLATE)
+// that stands in for JPEG so that raw sample sizes vary with image content
+// the way the paper's datasets do.
+package imaging
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Image is an 8-bit RGB image with interleaved pixels. Pix holds
+// W*H*3 bytes in row-major order: R,G,B for (0,0), then (1,0), ...
+type Image struct {
+	W, H int
+	Pix  []uint8
+}
+
+// Channels is the number of interleaved channels per pixel.
+const Channels = 3
+
+// ErrBadDimensions reports a non-positive or inconsistent image geometry.
+var ErrBadDimensions = errors.New("imaging: bad dimensions")
+
+// New allocates a zeroed (black) image of the given size.
+func New(w, h int) (*Image, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("%w: %dx%d", ErrBadDimensions, w, h)
+	}
+	return &Image{W: w, H: h, Pix: make([]uint8, w*h*Channels)}, nil
+}
+
+// MustNew is New for sizes known to be valid; it panics on error.
+func MustNew(w, h int) *Image {
+	im, err := New(w, h)
+	if err != nil {
+		panic(err)
+	}
+	return im
+}
+
+// FromPix wraps an existing pixel buffer. The buffer length must equal
+// w*h*3.
+func FromPix(w, h int, pix []uint8) (*Image, error) {
+	if w <= 0 || h <= 0 || len(pix) != w*h*Channels {
+		return nil, fmt.Errorf("%w: %dx%d with %d bytes", ErrBadDimensions, w, h, len(pix))
+	}
+	return &Image{W: w, H: h, Pix: pix}, nil
+}
+
+// Pixels returns the number of pixels (W*H).
+func (im *Image) Pixels() int { return im.W * im.H }
+
+// ByteSize returns the in-memory size of the pixel buffer.
+func (im *Image) ByteSize() int { return len(im.Pix) }
+
+// offset returns the index of the R byte of pixel (x, y).
+func (im *Image) offset(x, y int) int { return (y*im.W + x) * Channels }
+
+// At returns the RGB triple at (x, y). Callers must pass in-bounds
+// coordinates.
+func (im *Image) At(x, y int) (r, g, b uint8) {
+	o := im.offset(x, y)
+	return im.Pix[o], im.Pix[o+1], im.Pix[o+2]
+}
+
+// Set stores the RGB triple at (x, y). Callers must pass in-bounds
+// coordinates.
+func (im *Image) Set(x, y int, r, g, b uint8) {
+	o := im.offset(x, y)
+	im.Pix[o], im.Pix[o+1], im.Pix[o+2] = r, g, b
+}
+
+// Clone returns a deep copy.
+func (im *Image) Clone() *Image {
+	pix := make([]uint8, len(im.Pix))
+	copy(pix, im.Pix)
+	return &Image{W: im.W, H: im.H, Pix: pix}
+}
+
+// Equal reports whether two images have identical geometry and pixels.
+func (im *Image) Equal(other *Image) bool {
+	if other == nil || im.W != other.W || im.H != other.H {
+		return false
+	}
+	for i := range im.Pix {
+		if im.Pix[i] != other.Pix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest per-channel absolute difference between two
+// same-sized images, used to bound codec loss in tests.
+func (im *Image) MaxAbsDiff(other *Image) (int, error) {
+	if other == nil || im.W != other.W || im.H != other.H {
+		return 0, fmt.Errorf("%w: mismatched images", ErrBadDimensions)
+	}
+	max := 0
+	for i := range im.Pix {
+		d := int(im.Pix[i]) - int(other.Pix[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max, nil
+}
+
+// String summarizes the image for logs.
+func (im *Image) String() string {
+	return fmt.Sprintf("Image(%dx%d, %dB)", im.W, im.H, im.ByteSize())
+}

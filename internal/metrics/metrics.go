@@ -1,0 +1,325 @@
+// Package metrics provides lightweight, concurrency-safe counters, gauges,
+// and histograms used by the storage server, trainer, and evaluation
+// harness. A Registry groups named instruments and renders a stable text
+// snapshot for reports.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta. Negative deltas are ignored so the
+// counter stays monotone.
+func (c *Counter) Add(delta int64) {
+	if delta <= 0 {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable int64.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores val.
+func (g *Gauge) Set(val int64) { g.v.Store(val) }
+
+// Add adjusts the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates float64 observations and reports count, sum,
+// min/max, mean, and approximate quantiles from fixed log-spaced buckets.
+type Histogram struct {
+	mu    sync.Mutex
+	count int64
+	sum   float64
+	min   float64
+	max   float64
+	// buckets[i] counts observations in [bound(i-1), bound(i)).
+	buckets [histBuckets]int64
+}
+
+const (
+	histBuckets = 128
+	histBase    = 1e-9 // smallest resolvable observation
+	histGrowth  = 1.35 // bucket upper bounds grow geometrically
+)
+
+func bucketFor(v float64) int {
+	if v <= histBase {
+		return 0
+	}
+	idx := int(math.Log(v/histBase) / math.Log(histGrowth))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+func bucketUpper(i int) float64 {
+	return histBase * math.Pow(histGrowth, float64(i+1))
+}
+
+// Observe records one sample. NaN observations are dropped.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketFor(v)]++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest observation, or 0 with none.
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest observation, or 0 with none.
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns an approximation of the q-quantile (0 <= q <= 1) using
+// the bucket upper bound containing the rank; exact min/max are returned at
+// the extremes.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := int64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i]
+		if seen > rank {
+			u := bucketUpper(i)
+			if u > h.max {
+				u = h.max
+			}
+			if u < h.min {
+				u = h.min
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// Registry holds named instruments. The zero value is unusable; use
+// NewRegistry.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot captures a point-in-time view of every instrument, sorted by
+// name, suitable for logging or report generation.
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramStats
+}
+
+// HistogramStats summarizes a histogram at snapshot time.
+type HistogramStats struct {
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+	Mean  float64
+	P50   float64
+	P99   float64
+}
+
+// Snapshot captures every instrument's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]int64, len(gauges)),
+		Histograms: make(map[string]HistogramStats, len(hists)),
+	}
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		s.Histograms[k] = HistogramStats{
+			Count: h.Count(),
+			Sum:   h.Sum(),
+			Min:   h.Min(),
+			Max:   h.Max(),
+			Mean:  h.Mean(),
+			P50:   h.Quantile(0.5),
+			P99:   h.Quantile(0.99),
+		}
+	}
+	return s
+}
+
+// String renders the snapshot as stable, sorted text.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&b, "counter %s = %d\n", k, s.Counters[k])
+	}
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&b, "gauge %s = %d\n", k, s.Gauges[k])
+	}
+	names = names[:0]
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := s.Histograms[k]
+		fmt.Fprintf(&b, "hist %s count=%d mean=%.4g p50=%.4g p99=%.4g min=%.4g max=%.4g\n",
+			k, h.Count, h.Mean, h.P50, h.P99, h.Min, h.Max)
+	}
+	return b.String()
+}

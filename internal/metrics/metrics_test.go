@@ -1,0 +1,209 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero counter = %d", c.Value())
+	}
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	var c Counter
+	c.Add(10)
+	c.Add(-3)
+	c.Add(0)
+	if got := c.Value(); got != 10 {
+		t.Fatalf("counter = %d, want 10 (negatives ignored)", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 16000 {
+		t.Fatalf("counter = %d, want 16000", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(42)
+	g.Add(-2)
+	if got := g.Value(); got != 40 {
+		t.Fatalf("gauge = %d, want 40", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramBasicStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{1, 2, 3, 4} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 10 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	if h.Mean() != 2.5 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 4 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramDropsNaN(t *testing.T) {
+	var h Histogram
+	h.Observe(math.NaN())
+	h.Observe(1)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d after NaN, want 1", h.Count())
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("q0 = %v, want exact min", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Fatalf("q1 = %v, want exact max", got)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 30 || p50 > 90 {
+		t.Fatalf("p50 = %v, outside plausible band", p50)
+	}
+}
+
+// Property: for any set of positive observations, every quantile lies within
+// [min, max] and quantiles are monotone in q.
+func TestHistogramQuantileProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, r := range raw {
+			h.Observe(float64(r%1e6) + 0.5)
+		}
+		prev := math.Inf(-1)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			v := h.Quantile(q)
+			if v < h.Min() || v > h.Max() {
+				return false
+			}
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		h.Observe(rng.Float64()*1000 + 1)
+	}
+	p50 := h.Quantile(0.5)
+	// Log-spaced buckets with growth 1.35 bound relative error by ~35%.
+	if p50 < 500/1.5 || p50 > 500*1.5 {
+		t.Fatalf("p50 = %v, want near 500", p50)
+	}
+}
+
+func TestRegistryReturnsSameInstrument(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("Counter not memoized")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("Gauge not memoized")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("Histogram not memoized")
+	}
+}
+
+func TestRegistrySnapshotAndString(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bytes").Add(1024)
+	r.Gauge("inflight").Set(3)
+	r.Histogram("latency").Observe(0.25)
+	s := r.Snapshot()
+	if s.Counters["bytes"] != 1024 {
+		t.Fatalf("snapshot counter = %d", s.Counters["bytes"])
+	}
+	if s.Gauges["inflight"] != 3 {
+		t.Fatalf("snapshot gauge = %d", s.Gauges["inflight"])
+	}
+	if s.Histograms["latency"].Count != 1 {
+		t.Fatalf("snapshot hist count = %d", s.Histograms["latency"].Count)
+	}
+	out := s.String()
+	for _, want := range []string{"counter bytes = 1024", "gauge inflight = 3", "hist latency count=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("snapshot string missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter("c").Inc()
+				r.Histogram("h").Observe(float64(j))
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 4000 {
+		t.Fatalf("counter = %d, want 4000", got)
+	}
+}

@@ -1,0 +1,138 @@
+// Package monitor exposes the storage server's runtime counters over HTTP —
+// /healthz for liveness, /stats for a JSON snapshot, /metrics for a
+// plain-text listing — so a deployed sophon-server can be observed like any
+// production storage service.
+package monitor
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/storage"
+)
+
+// Server wires a metrics registry and storage counters into an HTTP mux.
+type Server struct {
+	registry *metrics.Registry
+	counters *storage.Counters
+	start    time.Time
+
+	mu       sync.Mutex
+	listener net.Listener
+	httpSrv  *http.Server
+	closed   bool
+}
+
+// New builds a monitor over the given sources. Either may be nil.
+func New(registry *metrics.Registry, counters *storage.Counters) *Server {
+	return &Server{registry: registry, counters: counters, start: time.Now()}
+}
+
+// statsSnapshot is the JSON shape of /stats.
+type statsSnapshot struct {
+	UptimeSeconds  float64           `json:"uptime_seconds"`
+	SamplesServed  uint64            `json:"samples_served"`
+	OpsExecuted    uint64            `json:"ops_executed"`
+	BytesSent      uint64            `json:"bytes_sent"`
+	ServerCPUNanos uint64            `json:"server_cpu_nanos"`
+	Counters       map[string]int64  `json:"counters,omitempty"`
+	Gauges         map[string]int64  `json:"gauges,omitempty"`
+	Histograms     map[string]hStats `json:"histograms,omitempty"`
+}
+
+type hStats struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+}
+
+func (s *Server) snapshot() statsSnapshot {
+	out := statsSnapshot{UptimeSeconds: time.Since(s.start).Seconds()}
+	if s.counters != nil {
+		out.SamplesServed = s.counters.SamplesServed.Load()
+		out.OpsExecuted = s.counters.OpsExecuted.Load()
+		out.BytesSent = s.counters.BytesSent.Load()
+		out.ServerCPUNanos = s.counters.CPUNanos.Load()
+	}
+	if s.registry != nil {
+		snap := s.registry.Snapshot()
+		out.Counters = snap.Counters
+		out.Gauges = snap.Gauges
+		out.Histograms = make(map[string]hStats, len(snap.Histograms))
+		for k, h := range snap.Histograms {
+			out.Histograms[k] = hStats{Count: h.Count, Mean: h.Mean, P50: h.P50, P99: h.P99}
+		}
+	}
+	return out
+}
+
+// Handler returns the HTTP mux serving the three endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s.snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		snap := s.snapshot()
+		fmt.Fprintf(w, "sophon_uptime_seconds %.1f\n", snap.UptimeSeconds)
+		fmt.Fprintf(w, "sophon_samples_served %d\n", snap.SamplesServed)
+		fmt.Fprintf(w, "sophon_ops_executed %d\n", snap.OpsExecuted)
+		fmt.Fprintf(w, "sophon_bytes_sent %d\n", snap.BytesSent)
+		fmt.Fprintf(w, "sophon_server_cpu_nanos %d\n", snap.ServerCPUNanos)
+		if s.registry != nil {
+			fmt.Fprint(w, s.registry.Snapshot().String())
+		}
+	})
+	return mux
+}
+
+// ListenAndServe starts the HTTP endpoint on addr and returns the bound
+// address (useful with ":0").
+func (s *Server) ListenAndServe(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("monitor: listen: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return "", errors.New("monitor: closed")
+	}
+	s.listener = l
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	s.mu.Unlock()
+	go s.httpSrv.Serve(l)
+	return l.Addr().String(), nil
+}
+
+// Close stops the HTTP endpoint; idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.httpSrv != nil {
+		return s.httpSrv.Close()
+	}
+	return nil
+}

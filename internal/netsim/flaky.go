@@ -1,0 +1,61 @@
+package netsim
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// FlakyConn injects deterministic connection failures: after a configured
+// byte budget (reads + writes combined) every operation returns
+// ErrInjectedFailure and the underlying connection closes. Used to test
+// retry/reconnect paths without real network faults.
+type FlakyConn struct {
+	net.Conn
+	mu     sync.Mutex
+	budget int64
+	failed bool
+}
+
+// ErrInjectedFailure marks a fault introduced by FlakyConn.
+var ErrInjectedFailure = errors.New("netsim: injected connection failure")
+
+// Flaky wraps conn with a failure budget of n bytes.
+func Flaky(conn net.Conn, n int64) *FlakyConn {
+	return &FlakyConn{Conn: conn, budget: n}
+}
+
+func (c *FlakyConn) charge(n int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed {
+		return ErrInjectedFailure
+	}
+	c.budget -= int64(n)
+	if c.budget < 0 {
+		c.failed = true
+		c.Conn.Close()
+		return ErrInjectedFailure
+	}
+	return nil
+}
+
+// Read forwards to the inner connection until the budget is spent.
+func (c *FlakyConn) Read(p []byte) (int, error) {
+	if err := c.charge(0); err != nil {
+		return 0, err
+	}
+	n, err := c.Conn.Read(p)
+	if cerr := c.charge(n); cerr != nil {
+		return n, cerr
+	}
+	return n, err
+}
+
+// Write forwards to the inner connection until the budget is spent.
+func (c *FlakyConn) Write(p []byte) (int, error) {
+	if err := c.charge(len(p)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}

@@ -1,0 +1,64 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/policy"
+)
+
+// FuzzReadPlan: the plan parser must never panic, and accepted plans
+// round-trip.
+func FuzzReadPlan(f *testing.F) {
+	plan, err := policy.NewUniformPlan("p", 5, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePlan(&buf, plan); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadPlan(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WritePlan(&out, p); err != nil {
+			t.Fatalf("accepted plan failed to write: %v", err)
+		}
+		again, err := ReadPlan(&out)
+		if err != nil || again.N() != p.N() {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}
+
+// FuzzReadTrace: the trace parser must never panic on arbitrary bytes.
+func FuzzReadTrace(f *testing.F) {
+	tr, err := dataset.GenerateTrace(dataset.OpenImages12G().ScaledTo(3), 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteTrace(&out, got); err != nil {
+			t.Fatalf("accepted trace failed to write: %v", err)
+		}
+	})
+}

@@ -1,0 +1,190 @@
+// Package pipeline implements the preprocessing-pipeline framework at the
+// heart of SOPHON's offloading model: typed intermediate artifacts with an
+// exact wire encoding (so every stage has a measurable transfer size), the
+// five standard image-classification ops (Decode, RandomResizedCrop,
+// RandomHorizontalFlip, ToTensor, Normalize), deterministic per-op
+// augmentation seeding, and split execution — run a prefix of the ops on the
+// storage server and the suffix on the compute node with a byte-identical
+// result to running everything locally.
+package pipeline
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/imaging"
+	"repro/internal/tensor"
+)
+
+// Kind identifies an artifact's payload type.
+type Kind uint8
+
+// Artifact kinds, in pipeline order.
+const (
+	KindRaw    Kind = 1 // encoded (SJPG) bytes, as stored
+	KindImage  Kind = 2 // decoded RGB pixels
+	KindTensor Kind = 3 // float32 CHW tensor
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindRaw:
+		return "raw"
+	case KindImage:
+		return "image"
+	case KindTensor:
+		return "tensor"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Artifact is the value flowing between pipeline ops. Exactly one payload
+// field is set, selected by Kind.
+type Artifact struct {
+	Kind   Kind
+	Raw    []byte
+	Image  *imaging.Image
+	Tensor *tensor.Tensor
+}
+
+// Package errors.
+var (
+	ErrKindMismatch = errors.New("pipeline: artifact kind mismatch")
+	ErrCorrupt      = errors.New("pipeline: corrupt artifact encoding")
+)
+
+// RawArtifact wraps encoded bytes.
+func RawArtifact(data []byte) Artifact { return Artifact{Kind: KindRaw, Raw: data} }
+
+// ImageArtifact wraps a decoded image.
+func ImageArtifact(im *imaging.Image) Artifact { return Artifact{Kind: KindImage, Image: im} }
+
+// TensorArtifact wraps a tensor.
+func TensorArtifact(t *tensor.Tensor) Artifact { return Artifact{Kind: KindTensor, Tensor: t} }
+
+const imageHeader = 1 + 8 // kind byte + W,H uint32
+
+// RawWireSize returns the encoded size of a raw artifact with n payload
+// bytes.
+func RawWireSize(n int) int { return 1 + n }
+
+// ImageWireSize returns the encoded size of a w×h image artifact.
+func ImageWireSize(w, h int) int { return imageHeader + w*h*imaging.Channels }
+
+// TensorWireSize returns the encoded size of a c×h×w tensor artifact.
+func TensorWireSize(c, h, w int) int { return 1 + tensor.MarshaledSize(c, h, w) }
+
+// WireSize returns the exact number of bytes this artifact occupies when
+// encoded for network transfer. This is the quantity the paper's Figure 1a
+// traces through the pipeline.
+func (a Artifact) WireSize() int {
+	switch a.Kind {
+	case KindRaw:
+		return 1 + len(a.Raw)
+	case KindImage:
+		return imageHeader + a.Image.ByteSize()
+	case KindTensor:
+		return 1 + tensor.MarshaledSize(a.Tensor.C, a.Tensor.H, a.Tensor.W)
+	default:
+		return 0
+	}
+}
+
+// Encode serializes the artifact: a kind byte followed by the payload
+// (raw bytes verbatim; images as W,H plus pixels; tensors via
+// tensor.Marshal).
+func (a Artifact) Encode() ([]byte, error) {
+	switch a.Kind {
+	case KindRaw:
+		out := make([]byte, 1+len(a.Raw))
+		out[0] = byte(KindRaw)
+		copy(out[1:], a.Raw)
+		return out, nil
+	case KindImage:
+		im := a.Image
+		out := make([]byte, imageHeader+im.ByteSize())
+		out[0] = byte(KindImage)
+		binary.LittleEndian.PutUint32(out[1:5], uint32(im.W))
+		binary.LittleEndian.PutUint32(out[5:9], uint32(im.H))
+		copy(out[imageHeader:], im.Pix)
+		return out, nil
+	case KindTensor:
+		payload := a.Tensor.Marshal()
+		out := make([]byte, 1+len(payload))
+		out[0] = byte(KindTensor)
+		copy(out[1:], payload)
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: kind %d", ErrCorrupt, a.Kind)
+	}
+}
+
+// DecodeArtifact parses an encoded artifact.
+func DecodeArtifact(data []byte) (Artifact, error) {
+	if len(data) < 1 {
+		return Artifact{}, fmt.Errorf("%w: empty", ErrCorrupt)
+	}
+	switch Kind(data[0]) {
+	case KindRaw:
+		raw := make([]byte, len(data)-1)
+		copy(raw, data[1:])
+		return RawArtifact(raw), nil
+	case KindImage:
+		if len(data) < imageHeader {
+			return Artifact{}, fmt.Errorf("%w: short image header", ErrCorrupt)
+		}
+		w := int(binary.LittleEndian.Uint32(data[1:5]))
+		h := int(binary.LittleEndian.Uint32(data[5:9]))
+		const maxDim = 1 << 16
+		if w <= 0 || h <= 0 || w > maxDim || h > maxDim {
+			return Artifact{}, fmt.Errorf("%w: image dims %dx%d", ErrCorrupt, w, h)
+		}
+		want := imageHeader + w*h*imaging.Channels
+		if len(data) != want {
+			return Artifact{}, fmt.Errorf("%w: image payload %d bytes, want %d", ErrCorrupt, len(data), want)
+		}
+		pix := make([]uint8, w*h*imaging.Channels)
+		copy(pix, data[imageHeader:])
+		im, err := imaging.FromPix(w, h, pix)
+		if err != nil {
+			return Artifact{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		return ImageArtifact(im), nil
+	case KindTensor:
+		t, err := tensor.Unmarshal(data[1:])
+		if err != nil {
+			return Artifact{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		return TensorArtifact(t), nil
+	default:
+		return Artifact{}, fmt.Errorf("%w: kind %d", ErrCorrupt, data[0])
+	}
+}
+
+// Equal compares artifacts by kind and payload bytes/values.
+func (a Artifact) Equal(b Artifact) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case KindRaw:
+		if len(a.Raw) != len(b.Raw) {
+			return false
+		}
+		for i := range a.Raw {
+			if a.Raw[i] != b.Raw[i] {
+				return false
+			}
+		}
+		return true
+	case KindImage:
+		return a.Image.Equal(b.Image)
+	case KindTensor:
+		return a.Tensor.Equal(b.Tensor)
+	default:
+		return false
+	}
+}

@@ -1,0 +1,87 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/imaging"
+)
+
+func benchRaw(b *testing.B, w, h int) []byte {
+	b.Helper()
+	im, err := imaging.Synthesize(imaging.SynthParams{W: w, H: h, Detail: 0.5, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw, err := imaging.EncodeDefault(im)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return raw
+}
+
+func BenchmarkFullPipeline640x480(b *testing.B) {
+	raw := benchRaw(b, 640, 480)
+	p := DefaultStandard()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Run(raw, Seed{Job: 1, Epoch: 1, Sample: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrefixDecodeCrop(b *testing.B) {
+	raw := benchRaw(b, 640, 480)
+	p := DefaultStandard()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.RunRange(RawArtifact(raw), 0, 2, Seed{Job: 1, Epoch: 1, Sample: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceInstrumentation(b *testing.B) {
+	raw := benchRaw(b, 320, 240)
+	p := DefaultStandard()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.Trace(raw, Seed{Job: 1, Epoch: 1, Sample: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkArtifactEncodeImage224(b *testing.B) {
+	im, err := imaging.Synthesize(imaging.SynthParams{W: 224, H: 224, Detail: 0.5, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := ImageArtifact(im)
+	b.SetBytes(int64(a.WireSize()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkArtifactDecodeImage224(b *testing.B) {
+	im, err := imaging.Synthesize(imaging.SynthParams{W: 224, H: 224, Detail: 0.5, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc, err := ImageArtifact(im).Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeArtifact(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/imaging"
+	"repro/internal/tensor"
+)
+
+// FuzzDecodeArtifact: the artifact parser must never panic, and accepted
+// artifacts must re-encode losslessly.
+func FuzzDecodeArtifact(f *testing.F) {
+	im, err := imaging.Synthesize(imaging.SynthParams{W: 8, H: 6, Detail: 0.4, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if enc, err := ImageArtifact(im).Encode(); err == nil {
+		f.Add(enc)
+	}
+	if enc, err := RawArtifact([]byte{1, 2, 3}).Encode(); err == nil {
+		f.Add(enc)
+	}
+	tt, _ := tensor.New(1, 2, 2)
+	if enc, err := TensorArtifact(tt).Encode(); err == nil {
+		f.Add(enc)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{99, 1, 2})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := DecodeArtifact(data)
+		if err != nil {
+			return
+		}
+		enc, err := a.Encode()
+		if err != nil {
+			t.Fatalf("accepted artifact failed to encode: %v", err)
+		}
+		b, err := DecodeArtifact(enc)
+		if err != nil {
+			t.Fatalf("re-encoded artifact failed to decode: %v", err)
+		}
+		if !a.Equal(b) {
+			t.Fatal("artifact changed across round trip")
+		}
+		if len(enc) != a.WireSize() {
+			t.Fatalf("WireSize %d != encoded %d", a.WireSize(), len(enc))
+		}
+	})
+}

@@ -1,0 +1,220 @@
+package pipeline
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/imaging"
+	"repro/internal/tensor"
+)
+
+// Additional torchvision-style ops beyond the paper's five: the
+// deterministic resize/center-crop pair used by validation/eval pipelines,
+// plus two more random augmentations. All compose with split execution —
+// the server can run any prefix of any pipeline built from them.
+
+// Extended op identifiers (continuing the OpID space).
+const (
+	OpResizeShorter OpID = iota + 6
+	OpCenterCrop
+	OpColorJitter
+	OpGrayscale
+)
+
+// extraOpName extends OpID.String for the additional ops.
+func extraOpName(id OpID) (string, bool) {
+	switch id {
+	case OpResizeShorter:
+		return "ResizeShorter", true
+	case OpCenterCrop:
+		return "CenterCrop", true
+	case OpColorJitter:
+		return "ColorJitter", true
+	case OpGrayscale:
+		return "Grayscale", true
+	default:
+		return "", false
+	}
+}
+
+// resizeShorterOp scales the image so its shorter side equals Size,
+// preserving aspect ratio — torchvision's Resize(int).
+type resizeShorterOp struct {
+	Size int
+}
+
+func (resizeShorterOp) ID() OpID      { return OpResizeShorter }
+func (resizeShorterOp) Name() string  { return OpResizeShorter.String() }
+func (resizeShorterOp) InKind() Kind  { return KindImage }
+func (resizeShorterOp) OutKind() Kind { return KindImage }
+
+func (op resizeShorterOp) Apply(a Artifact, _ *rand.Rand) (Artifact, error) {
+	if a.Kind != KindImage {
+		return Artifact{}, fmt.Errorf("%w: ResizeShorter wants image, got %s", ErrKindMismatch, a.Kind)
+	}
+	im := a.Image
+	w, h := im.W, im.H
+	if w < h {
+		h = h * op.Size / w
+		w = op.Size
+	} else {
+		w = w * op.Size / h
+		h = op.Size
+	}
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	out, err := imaging.Resize(im, w, h)
+	if err != nil {
+		return Artifact{}, fmt.Errorf("pipeline: resize shorter: %w", err)
+	}
+	return ImageArtifact(out), nil
+}
+
+// centerCropOp extracts the central Size×Size region, padding via clamped
+// crop when the image is smaller (torchvision center-crops after resizing,
+// so the common path always fits).
+type centerCropOp struct {
+	Size int
+}
+
+func (centerCropOp) ID() OpID      { return OpCenterCrop }
+func (centerCropOp) Name() string  { return OpCenterCrop.String() }
+func (centerCropOp) InKind() Kind  { return KindImage }
+func (centerCropOp) OutKind() Kind { return KindImage }
+
+func (op centerCropOp) Apply(a Artifact, _ *rand.Rand) (Artifact, error) {
+	if a.Kind != KindImage {
+		return Artifact{}, fmt.Errorf("%w: CenterCrop wants image, got %s", ErrKindMismatch, a.Kind)
+	}
+	im := a.Image
+	cw, ch := op.Size, op.Size
+	if cw > im.W {
+		cw = im.W
+	}
+	if ch > im.H {
+		ch = im.H
+	}
+	rect := imaging.Rect{X: (im.W - cw) / 2, Y: (im.H - ch) / 2, W: cw, H: ch}
+	cropped, err := imaging.Crop(im, rect)
+	if err != nil {
+		return Artifact{}, fmt.Errorf("pipeline: center crop: %w", err)
+	}
+	if cropped.W != op.Size || cropped.H != op.Size {
+		// Undersized input: upscale to the requested square.
+		cropped, err = imaging.Resize(cropped, op.Size, op.Size)
+		if err != nil {
+			return Artifact{}, fmt.Errorf("pipeline: center crop resize: %w", err)
+		}
+	}
+	return ImageArtifact(cropped), nil
+}
+
+// colorJitterOp randomly scales brightness and contrast within ±Strength.
+type colorJitterOp struct {
+	Strength float64 // e.g. 0.4 → factors in [0.6, 1.4]
+}
+
+func (colorJitterOp) ID() OpID      { return OpColorJitter }
+func (colorJitterOp) Name() string  { return OpColorJitter.String() }
+func (colorJitterOp) InKind() Kind  { return KindImage }
+func (colorJitterOp) OutKind() Kind { return KindImage }
+
+func (op colorJitterOp) Apply(a Artifact, rng *rand.Rand) (Artifact, error) {
+	if a.Kind != KindImage {
+		return Artifact{}, fmt.Errorf("%w: ColorJitter wants image, got %s", ErrKindMismatch, a.Kind)
+	}
+	s := op.Strength
+	if s < 0 {
+		s = 0
+	}
+	brightness := 1 + (rng.Float64()*2-1)*s
+	contrast := 1 + (rng.Float64()*2-1)*s
+	src := a.Image
+	out := imaging.MustNew(src.W, src.H)
+	for i, v := range src.Pix {
+		f := (float64(v)-128)*contrast + 128
+		f *= brightness
+		if f < 0 {
+			f = 0
+		}
+		if f > 255 {
+			f = 255
+		}
+		out.Pix[i] = uint8(f + 0.5)
+	}
+	return ImageArtifact(out), nil
+}
+
+// grayscaleOp converts to luma with probability P (RandomGrayscale).
+type grayscaleOp struct {
+	P float64
+}
+
+func (grayscaleOp) ID() OpID      { return OpGrayscale }
+func (grayscaleOp) Name() string  { return OpGrayscale.String() }
+func (grayscaleOp) InKind() Kind  { return KindImage }
+func (grayscaleOp) OutKind() Kind { return KindImage }
+
+func (op grayscaleOp) Apply(a Artifact, rng *rand.Rand) (Artifact, error) {
+	if a.Kind != KindImage {
+		return Artifact{}, fmt.Errorf("%w: Grayscale wants image, got %s", ErrKindMismatch, a.Kind)
+	}
+	if rng.Float64() >= op.P {
+		return ImageArtifact(a.Image.Clone()), nil
+	}
+	src := a.Image
+	out := imaging.MustNew(src.W, src.H)
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			r, g, b := src.At(x, y)
+			// ITU-R BT.601 luma.
+			l := uint8((299*int(r) + 587*int(g) + 114*int(b) + 500) / 1000)
+			out.Set(x, y, l, l, l)
+		}
+	}
+	return ImageArtifact(out), nil
+}
+
+// Validation builds the deterministic eval-time pipeline torchvision
+// pairs with the training one: Decode → Resize(shorter=resize) →
+// CenterCrop(crop) → ToTensor → Normalize.
+func Validation(resize, crop int) (*Pipeline, error) {
+	if resize <= 0 {
+		resize = 256
+	}
+	if crop <= 0 {
+		crop = 224
+	}
+	if crop > resize {
+		return nil, fmt.Errorf("pipeline: crop %d exceeds resize %d", crop, resize)
+	}
+	return New(
+		decodeOp{},
+		resizeShorterOp{Size: resize},
+		centerCropOp{Size: crop},
+		toTensorOp{},
+		normalizeOp{Mean: tensor.ImageNetMean, Std: tensor.ImageNetStd},
+	)
+}
+
+// Augmented builds a heavier training pipeline with the extra random ops:
+// Decode → RandomResizedCrop → RandomHorizontalFlip → ColorJitter →
+// Grayscale → ToTensor → Normalize.
+func Augmented(crop int, jitter, grayP float64) (*Pipeline, error) {
+	if crop <= 0 {
+		crop = 224
+	}
+	return New(
+		decodeOp{},
+		newRandomResizedCrop(crop),
+		randomHorizontalFlipOp{P: 0.5},
+		colorJitterOp{Strength: jitter},
+		grayscaleOp{P: grayP},
+		toTensorOp{},
+		normalizeOp{Mean: tensor.ImageNetMean, Std: tensor.ImageNetStd},
+	)
+}

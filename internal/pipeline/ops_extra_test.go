@@ -1,0 +1,219 @@
+package pipeline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/imaging"
+)
+
+func TestValidationPipelineShape(t *testing.T) {
+	p, err := Validation(256, 224)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []OpID{OpDecode, OpResizeShorter, OpCenterCrop, OpToTensor, OpNormalize}
+	got := p.OpIDs()
+	if len(got) != len(want) {
+		t.Fatalf("%d ops", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("op %d = %s", i, got[i])
+		}
+	}
+	if _, err := Validation(224, 256); err == nil {
+		t.Fatal("accepted crop > resize")
+	}
+	// Defaults.
+	if p, err := Validation(0, 0); err != nil || p.Len() != 5 {
+		t.Fatalf("defaults: %v", err)
+	}
+}
+
+func TestValidationPipelineDeterministicOutput(t *testing.T) {
+	raw := encodeSample(t, 400, 300, 0.5, 41)
+	p, err := Validation(128, 112)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Run(raw, Seed{Job: 1, Epoch: 1, Sample: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Validation pipelines have no randomness: different seeds agree.
+	b, err := p.Run(raw, Seed{Job: 9, Epoch: 9, Sample: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("validation pipeline output depends on the seed")
+	}
+	if a.Tensor.H != 112 || a.Tensor.W != 112 {
+		t.Fatalf("tensor %dx%d", a.Tensor.H, a.Tensor.W)
+	}
+}
+
+func TestResizeShorterPreservesAspect(t *testing.T) {
+	im, _ := imaging.Synthesize(imaging.SynthParams{W: 400, H: 200, Detail: 0.4, Seed: 2})
+	out, err := resizeShorterOp{Size: 100}.Apply(ImageArtifact(im), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Image.H != 100 || out.Image.W != 200 {
+		t.Fatalf("landscape resized to %dx%d", out.Image.W, out.Image.H)
+	}
+	tall, _ := imaging.Synthesize(imaging.SynthParams{W: 150, H: 450, Detail: 0.4, Seed: 3})
+	out, err = resizeShorterOp{Size: 50}.Apply(ImageArtifact(tall), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Image.W != 50 || out.Image.H != 150 {
+		t.Fatalf("portrait resized to %dx%d", out.Image.W, out.Image.H)
+	}
+}
+
+func TestCenterCropGeometry(t *testing.T) {
+	im, _ := imaging.Synthesize(imaging.SynthParams{W: 100, H: 80, Detail: 0.4, Seed: 4})
+	out, err := centerCropOp{Size: 60}.Apply(ImageArtifact(im), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Image.W != 60 || out.Image.H != 60 {
+		t.Fatalf("crop %dx%d", out.Image.W, out.Image.H)
+	}
+	// Undersized input still yields the requested square.
+	small, _ := imaging.Synthesize(imaging.SynthParams{W: 30, H: 40, Detail: 0.4, Seed: 5})
+	out, err = centerCropOp{Size: 60}.Apply(ImageArtifact(small), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Image.W != 60 || out.Image.H != 60 {
+		t.Fatalf("undersized crop %dx%d", out.Image.W, out.Image.H)
+	}
+}
+
+func TestColorJitterBounds(t *testing.T) {
+	im, _ := imaging.Synthesize(imaging.SynthParams{W: 20, H: 20, Detail: 0.6, Seed: 6})
+	out, err := colorJitterOp{Strength: 0.4}.Apply(ImageArtifact(im), rngFor(Seed{Job: 1}, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Image.W != 20 || out.Image.H != 20 {
+		t.Fatal("jitter changed geometry")
+	}
+	// Zero strength is identity.
+	same, err := colorJitterOp{Strength: 0}.Apply(ImageArtifact(im), rngFor(Seed{Job: 1}, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same.Image.Equal(im) {
+		t.Fatal("zero-strength jitter altered pixels")
+	}
+}
+
+func TestGrayscaleOp(t *testing.T) {
+	im, _ := imaging.Synthesize(imaging.SynthParams{W: 10, H: 10, Detail: 0.8, Seed: 7})
+	out, err := grayscaleOp{P: 1}.Apply(ImageArtifact(im), rngFor(Seed{Job: 2}, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < 10; y++ {
+		for x := 0; x < 10; x++ {
+			r, g, b := out.Image.At(x, y)
+			if r != g || g != b {
+				t.Fatalf("pixel (%d,%d) not gray: %d %d %d", x, y, r, g, b)
+			}
+		}
+	}
+	keep, err := grayscaleOp{P: 0}.Apply(ImageArtifact(im), rngFor(Seed{Job: 2}, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !keep.Image.Equal(im) {
+		t.Fatal("P=0 grayscale altered the image")
+	}
+}
+
+func TestAugmentedPipelineSplitEquivalence(t *testing.T) {
+	p, err := Augmented(96, 0.4, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 7 {
+		t.Fatalf("augmented pipeline has %d ops", p.Len())
+	}
+	raw := encodeSample(t, 300, 240, 0.5, 43)
+	seed := Seed{Job: 3, Epoch: 2, Sample: 9}
+	want, err := p.Run(raw, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= p.Len(); k++ {
+		prefix, err := p.RunRange(RawArtifact(raw), 0, k, seed)
+		if err != nil {
+			t.Fatalf("split %d: %v", k, err)
+		}
+		enc, err := prefix.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := DecodeArtifact(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.RunRange(dec, k, p.Len(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("augmented split %d differs from local run", k)
+		}
+	}
+}
+
+// Property: split equivalence holds on the validation pipeline too.
+func TestValidationSplitEquivalenceProperty(t *testing.T) {
+	p, err := Validation(128, 112)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(imgSeed uint64, k8 uint8) bool {
+		im, err := imaging.Synthesize(imaging.SynthParams{W: 200, H: 160, Detail: 0.5, Seed: imgSeed})
+		if err != nil {
+			return false
+		}
+		raw, err := imaging.EncodeDefault(im)
+		if err != nil {
+			return false
+		}
+		seed := Seed{Job: 1, Epoch: 1, Sample: imgSeed}
+		k := int(k8) % (p.Len() + 1)
+		want, err := p.Run(raw, seed)
+		if err != nil {
+			return false
+		}
+		prefix, err := p.RunRange(RawArtifact(raw), 0, k, seed)
+		if err != nil {
+			return false
+		}
+		got, err := p.RunRange(prefix, k, p.Len(), seed)
+		return err == nil && got.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtraOpNames(t *testing.T) {
+	for id, want := range map[OpID]string{
+		OpResizeShorter: "ResizeShorter",
+		OpCenterCrop:    "CenterCrop",
+		OpColorJitter:   "ColorJitter",
+		OpGrayscale:     "Grayscale",
+	} {
+		if id.String() != want {
+			t.Errorf("OpID(%d) = %q", id, id.String())
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// Pipeline is an ordered sequence of ops whose artifact kinds chain
+// correctly. Indexing convention used across the repository: "stage k" is
+// the artifact after the first k ops, so stage 0 is the raw sample and stage
+// len(Ops) is the fully preprocessed tensor. An offload plan with split k
+// runs ops [0, k) on the storage server and ops [k, len) locally.
+type Pipeline struct {
+	ops []Op
+}
+
+// ErrBadSplit reports an out-of-range split point.
+var ErrBadSplit = errors.New("pipeline: split out of range")
+
+// New validates that each op consumes what its predecessor produces and that
+// the first op consumes raw bytes.
+func New(ops ...Op) (*Pipeline, error) {
+	if len(ops) == 0 {
+		return nil, errors.New("pipeline: no ops")
+	}
+	if ops[0].InKind() != KindRaw {
+		return nil, fmt.Errorf("pipeline: first op %s must consume raw, consumes %s", ops[0].Name(), ops[0].InKind())
+	}
+	for i := 1; i < len(ops); i++ {
+		if ops[i].InKind() != ops[i-1].OutKind() {
+			return nil, fmt.Errorf("pipeline: %s produces %s but %s consumes %s",
+				ops[i-1].Name(), ops[i-1].OutKind(), ops[i].Name(), ops[i].InKind())
+		}
+	}
+	return &Pipeline{ops: append([]Op(nil), ops...)}, nil
+}
+
+// StandardOptions configures the standard image-classification pipeline.
+type StandardOptions struct {
+	CropSize int       // output side length; 0 means 224
+	FlipP    float64   // horizontal-flip probability; negative means 0.5
+	Mean     []float32 // normalization mean; nil means ImageNet stats
+	Std      []float32 // normalization std; nil means ImageNet stats
+}
+
+// Standard builds the paper's five-op pipeline:
+// Decode → RandomResizedCrop → RandomHorizontalFlip → ToTensor → Normalize.
+func Standard(opts StandardOptions) *Pipeline {
+	if opts.CropSize <= 0 {
+		opts.CropSize = 224
+	}
+	if opts.FlipP < 0 {
+		opts.FlipP = 0.5
+	}
+	if opts.Mean == nil {
+		opts.Mean = tensor.ImageNetMean
+	}
+	if opts.Std == nil {
+		opts.Std = tensor.ImageNetStd
+	}
+	p, err := New(
+		decodeOp{},
+		newRandomResizedCrop(opts.CropSize),
+		randomHorizontalFlipOp{P: opts.FlipP},
+		toTensorOp{},
+		normalizeOp{Mean: opts.Mean, Std: opts.Std},
+	)
+	if err != nil {
+		// The standard pipeline is statically well-formed.
+		panic(err)
+	}
+	return p
+}
+
+// DefaultStandard is Standard with all defaults (224 crop, p=0.5 flip,
+// ImageNet normalization).
+func DefaultStandard() *Pipeline { return Standard(StandardOptions{FlipP: -1}) }
+
+// Len returns the number of ops.
+func (p *Pipeline) Len() int { return len(p.ops) }
+
+// Ops returns the op list (callers must not mutate it).
+func (p *Pipeline) Ops() []Op { return p.ops }
+
+// OpIDs returns the ordered op identifiers.
+func (p *Pipeline) OpIDs() []OpID {
+	ids := make([]OpID, len(p.ops))
+	for i, op := range p.ops {
+		ids[i] = op.ID()
+	}
+	return ids
+}
+
+// rngFor builds the op's independent random stream.
+func rngFor(seed Seed, opIndex int) *rand.Rand {
+	s := seed.ForOp(opIndex)
+	return rand.New(rand.NewPCG(s, splitmix(s)))
+}
+
+// RunRange applies ops [from, to) to a, deriving each op's rng from seed.
+// from==to returns a unchanged.
+func (p *Pipeline) RunRange(a Artifact, from, to int, seed Seed) (Artifact, error) {
+	if from < 0 || to > len(p.ops) || from > to {
+		return Artifact{}, fmt.Errorf("%w: [%d, %d) of %d ops", ErrBadSplit, from, to, len(p.ops))
+	}
+	cur := a
+	for i := from; i < to; i++ {
+		next, err := p.ops[i].Apply(cur, rngFor(seed, i))
+		if err != nil {
+			return Artifact{}, fmt.Errorf("pipeline: op %d (%s): %w", i, p.ops[i].Name(), err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Run applies the full pipeline to raw sample bytes.
+func (p *Pipeline) Run(raw []byte, seed Seed) (Artifact, error) {
+	return p.RunRange(RawArtifact(raw), 0, len(p.ops), seed)
+}
+
+// StageTrace records the artifact wire size after every stage and the CPU
+// time each op took. Sizes has Len()+1 entries (stage 0 = raw); OpTimes has
+// Len() entries.
+type StageTrace struct {
+	Sizes   []int
+	OpTimes []time.Duration
+}
+
+// MinStage returns the stage index with the smallest wire size, preferring
+// the earliest stage on ties (an earlier minimum means less server CPU for
+// the same traffic).
+func (t StageTrace) MinStage() int {
+	best := 0
+	for i, s := range t.Sizes {
+		if s < t.Sizes[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Trace runs the full pipeline over raw bytes, recording per-stage wire
+// sizes and per-op wall times. It is the measurement kernel of the profiler's
+// second stage.
+func (p *Pipeline) Trace(raw []byte, seed Seed) (Artifact, StageTrace, error) {
+	trace := StageTrace{
+		Sizes:   make([]int, len(p.ops)+1),
+		OpTimes: make([]time.Duration, len(p.ops)),
+	}
+	cur := RawArtifact(raw)
+	trace.Sizes[0] = cur.WireSize()
+	for i, op := range p.ops {
+		start := time.Now()
+		next, err := op.Apply(cur, rngFor(seed, i))
+		trace.OpTimes[i] = time.Since(start)
+		if err != nil {
+			return Artifact{}, StageTrace{}, fmt.Errorf("pipeline: trace op %d (%s): %w", i, op.Name(), err)
+		}
+		cur = next
+		trace.Sizes[i+1] = cur.WireSize()
+	}
+	return cur, trace, nil
+}

@@ -1,0 +1,423 @@
+package pipeline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/imaging"
+	"repro/internal/tensor"
+)
+
+// encodeSample builds SJPG bytes for a synthetic image.
+func encodeSample(t testing.TB, w, h int, detail float64, seed uint64) []byte {
+	t.Helper()
+	im, err := imaging.Synthesize(imaging.SynthParams{W: w, H: h, Detail: detail, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := imaging.EncodeDefault(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestArtifactEncodeDecodeRaw(t *testing.T) {
+	a := RawArtifact([]byte{1, 2, 3})
+	enc, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != a.WireSize() {
+		t.Fatalf("encoded %d bytes, WireSize says %d", len(enc), a.WireSize())
+	}
+	got, err := DecodeArtifact(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(a) {
+		t.Fatal("raw artifact round trip mismatch")
+	}
+}
+
+func TestArtifactEncodeDecodeImage(t *testing.T) {
+	im, _ := imaging.Synthesize(imaging.SynthParams{W: 13, H: 7, Detail: 0.5, Seed: 1})
+	a := ImageArtifact(im)
+	enc, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != a.WireSize() {
+		t.Fatalf("encoded %d bytes, WireSize says %d", len(enc), a.WireSize())
+	}
+	got, err := DecodeArtifact(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(a) {
+		t.Fatal("image artifact round trip mismatch")
+	}
+}
+
+func TestArtifactEncodeDecodeTensor(t *testing.T) {
+	tt, _ := tensor.New(3, 4, 5)
+	tt.Set(1, 2, 3, -2.5)
+	a := TensorArtifact(tt)
+	enc, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != a.WireSize() {
+		t.Fatalf("encoded %d bytes, WireSize says %d", len(enc), a.WireSize())
+	}
+	got, err := DecodeArtifact(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(a) {
+		t.Fatal("tensor artifact round trip mismatch")
+	}
+}
+
+func TestDecodeArtifactRejectsCorrupt(t *testing.T) {
+	im, _ := imaging.Synthesize(imaging.SynthParams{W: 4, H: 4, Detail: 0, Seed: 1})
+	good, _ := ImageArtifact(im).Encode()
+	cases := map[string][]byte{
+		"empty":           {},
+		"unknown kind":    {99, 0, 0},
+		"short image":     good[:5],
+		"truncated image": good[:len(good)-1],
+		"zero image dims": func() []byte {
+			d := append([]byte(nil), good...)
+			for i := 1; i < 9; i++ {
+				d[i] = 0
+			}
+			return d
+		}(),
+		"bad tensor": {byte(KindTensor), 1, 2, 3},
+	}
+	for name, c := range cases {
+		if _, err := DecodeArtifact(c); err == nil {
+			t.Errorf("DecodeArtifact accepted %s", name)
+		}
+	}
+}
+
+func TestArtifactEqualAcrossKinds(t *testing.T) {
+	if RawArtifact([]byte{1}).Equal(ImageArtifact(imaging.MustNew(1, 1))) {
+		t.Fatal("different kinds reported equal")
+	}
+	if !RawArtifact(nil).Equal(RawArtifact([]byte{})) {
+		t.Fatal("empty raw artifacts should be equal")
+	}
+}
+
+func TestNewValidatesChaining(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Fatal("empty pipeline accepted")
+	}
+	if _, err := New(toTensorOp{}); err == nil {
+		t.Fatal("pipeline starting with image-consumer accepted")
+	}
+	if _, err := New(decodeOp{}, decodeOp{}); err == nil {
+		t.Fatal("kind-mismatched chain accepted")
+	}
+	if _, err := New(decodeOp{}, toTensorOp{}, normalizeOp{Mean: tensor.ImageNetMean, Std: tensor.ImageNetStd}); err != nil {
+		t.Fatalf("valid chain rejected: %v", err)
+	}
+}
+
+func TestStandardPipelineShape(t *testing.T) {
+	p := DefaultStandard()
+	if p.Len() != 5 {
+		t.Fatalf("standard pipeline has %d ops", p.Len())
+	}
+	want := []OpID{OpDecode, OpRandomResizedCrop, OpRandomHorizontalFlip, OpToTensor, OpNormalize}
+	got := p.OpIDs()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("op %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunProducesNormalizedTensor(t *testing.T) {
+	raw := encodeSample(t, 300, 200, 0.4, 7)
+	p := DefaultStandard()
+	out, err := p.Run(raw, Seed{Job: 1, Epoch: 1, Sample: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != KindTensor {
+		t.Fatalf("output kind %s", out.Kind)
+	}
+	tt := out.Tensor
+	if tt.C != 3 || tt.H != 224 || tt.W != 224 {
+		t.Fatalf("tensor shape %dx%dx%d", tt.C, tt.H, tt.W)
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	raw := encodeSample(t, 120, 90, 0.5, 8)
+	p := DefaultStandard()
+	s := Seed{Job: 2, Epoch: 3, Sample: 4}
+	a, err := p.Run(raw, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Run(raw, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different outputs")
+	}
+	c, err := p.Run(raw, Seed{Job: 2, Epoch: 4, Sample: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(c) {
+		t.Fatal("different epochs produced identical augmentations")
+	}
+}
+
+func TestRunRangeValidatesSplit(t *testing.T) {
+	p := DefaultStandard()
+	a := RawArtifact([]byte{1})
+	for _, bad := range [][2]int{{-1, 2}, {0, 6}, {3, 2}} {
+		if _, err := p.RunRange(a, bad[0], bad[1], Seed{}); err == nil {
+			t.Errorf("RunRange accepted [%d, %d)", bad[0], bad[1])
+		}
+	}
+	same, err := p.RunRange(a, 2, 2, Seed{})
+	if err != nil || !same.Equal(a) {
+		t.Fatalf("empty range should be identity: %v", err)
+	}
+}
+
+// TestSplitEquivalence is invariant #1 from DESIGN.md: for every split point
+// k, prefix-then-suffix equals a full local run, including an artifact
+// encode/decode across the "network" boundary.
+func TestSplitEquivalence(t *testing.T) {
+	raw := encodeSample(t, 260, 180, 0.6, 9)
+	p := DefaultStandard()
+	seed := Seed{Job: 11, Epoch: 2, Sample: 33}
+	want, err := p.Run(raw, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= p.Len(); k++ {
+		remote, err := p.RunRange(RawArtifact(raw), 0, k, seed)
+		if err != nil {
+			t.Fatalf("split %d prefix: %v", k, err)
+		}
+		wire, err := remote.Encode()
+		if err != nil {
+			t.Fatalf("split %d encode: %v", k, err)
+		}
+		arrived, err := DecodeArtifact(wire)
+		if err != nil {
+			t.Fatalf("split %d decode: %v", k, err)
+		}
+		got, err := p.RunRange(arrived, k, p.Len(), seed)
+		if err != nil {
+			t.Fatalf("split %d suffix: %v", k, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("split %d output differs from local run", k)
+		}
+	}
+}
+
+// Property: split equivalence holds for arbitrary images, seeds, and splits.
+func TestSplitEquivalenceProperty(t *testing.T) {
+	p := DefaultStandard()
+	f := func(w8, h8 uint8, imgSeed, job, epoch, sample uint64, k8 uint8) bool {
+		w := int(w8%200) + 30
+		h := int(h8%200) + 30
+		im, err := imaging.Synthesize(imaging.SynthParams{W: w, H: h, Detail: 0.5, Seed: imgSeed})
+		if err != nil {
+			return false
+		}
+		raw, err := imaging.EncodeDefault(im)
+		if err != nil {
+			return false
+		}
+		seed := Seed{Job: job, Epoch: epoch, Sample: sample}
+		k := int(k8) % (p.Len() + 1)
+		want, err := p.Run(raw, seed)
+		if err != nil {
+			return false
+		}
+		prefix, err := p.RunRange(RawArtifact(raw), 0, k, seed)
+		if err != nil {
+			return false
+		}
+		enc, err := prefix.Encode()
+		if err != nil {
+			return false
+		}
+		dec, err := DecodeArtifact(enc)
+		if err != nil {
+			return false
+		}
+		got, err := p.RunRange(dec, k, p.Len(), seed)
+		return err == nil && got.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceSizesMatchPaperShape(t *testing.T) {
+	// A large detailed image: raw > 224-crop stage, tensor stage ~4x the
+	// cropped image stage (Findings #1 and #2).
+	raw := encodeSample(t, 900, 700, 0.9, 10)
+	p := DefaultStandard()
+	out, trace, err := p.Trace(raw, Seed{Job: 1, Epoch: 1, Sample: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != KindTensor {
+		t.Fatalf("trace output kind %s", out.Kind)
+	}
+	if len(trace.Sizes) != 6 || len(trace.OpTimes) != 5 {
+		t.Fatalf("trace lengths %d/%d", len(trace.Sizes), len(trace.OpTimes))
+	}
+	if trace.Sizes[0] != len(raw)+1 {
+		t.Fatalf("stage 0 size %d, want %d", trace.Sizes[0], len(raw)+1)
+	}
+	// Stage 2 (after RandomResizedCrop) is the 224×224 image.
+	want224 := 1 + 8 + 3*224*224
+	if trace.Sizes[2] != want224 {
+		t.Fatalf("stage 2 size %d, want %d", trace.Sizes[2], want224)
+	}
+	if trace.Sizes[3] != want224 {
+		t.Fatalf("stage 3 (flip) size %d, want %d", trace.Sizes[3], want224)
+	}
+	ratio := float64(trace.Sizes[4]) / float64(trace.Sizes[3])
+	if ratio < 3.9 || ratio > 4.1 {
+		t.Fatalf("ToTensor inflation %.2fx, want ~4x", ratio)
+	}
+	if trace.Sizes[5] != trace.Sizes[4] {
+		t.Fatal("Normalize changed wire size")
+	}
+	// Decode inflates a compressed raw image.
+	if trace.Sizes[1] <= trace.Sizes[0] {
+		t.Fatalf("decode did not inflate: %d -> %d", trace.Sizes[0], trace.Sizes[1])
+	}
+}
+
+func TestTraceMinStage(t *testing.T) {
+	big := StageTrace{Sizes: []int{500000, 900000, 150000, 150000, 600000, 600000}}
+	if got := big.MinStage(); got != 2 {
+		t.Fatalf("MinStage = %d, want 2 (earliest min)", got)
+	}
+	small := StageTrace{Sizes: []int{80000, 900000, 150000, 150000, 600000, 600000}}
+	if got := small.MinStage(); got != 0 {
+		t.Fatalf("MinStage = %d, want 0", got)
+	}
+}
+
+func TestSeedForOpIndependence(t *testing.T) {
+	s := Seed{Job: 1, Epoch: 2, Sample: 3}
+	seen := map[uint64]bool{}
+	for i := 0; i < 5; i++ {
+		v := s.ForOp(i)
+		if seen[v] {
+			t.Fatalf("op %d reuses another op's stream seed", i)
+		}
+		seen[v] = true
+	}
+	if s.ForOp(0) != s.ForOp(0) {
+		t.Fatal("ForOp not deterministic")
+	}
+	if (Seed{Job: 1, Epoch: 2, Sample: 4}).ForOp(0) == s.ForOp(0) {
+		t.Fatal("different samples share op seed")
+	}
+}
+
+func TestRandomResizedCropFallbackOnTinyImages(t *testing.T) {
+	p := DefaultStandard()
+	// 1×1 image: every sampled crop fails, fallback must still work.
+	im := imaging.MustNew(1, 1)
+	raw, err := imaging.Encode(im, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Run(raw, Seed{Job: 5, Epoch: 1, Sample: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tensor.H != 224 || out.Tensor.W != 224 {
+		t.Fatalf("tiny image produced %dx%d tensor", out.Tensor.H, out.Tensor.W)
+	}
+}
+
+func TestExtremeAspectRatioFallback(t *testing.T) {
+	p := DefaultStandard()
+	for _, dims := range [][2]int{{400, 10}, {10, 400}} {
+		im, _ := imaging.Synthesize(imaging.SynthParams{W: dims[0], H: dims[1], Detail: 0.3, Seed: 3})
+		raw, err := imaging.EncodeDefault(im)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Run(raw, Seed{Job: 6, Epoch: 1, Sample: 1}); err != nil {
+			t.Fatalf("aspect %v failed: %v", dims, err)
+		}
+	}
+}
+
+func TestOpsRejectWrongKinds(t *testing.T) {
+	rngSeed := Seed{Job: 1, Epoch: 1, Sample: 1}
+	p := DefaultStandard()
+	// Feed a tensor artifact to the image-stage suffix.
+	tt, _ := tensor.New(3, 2, 2)
+	if _, err := p.RunRange(TensorArtifact(tt), 1, 3, rngSeed); err == nil {
+		t.Fatal("image ops accepted tensor input")
+	}
+	if _, err := p.RunRange(RawArtifact([]byte{1, 2}), 4, 5, rngSeed); err == nil {
+		t.Fatal("normalize accepted raw input")
+	}
+}
+
+func TestFlipProbabilityZeroAndOne(t *testing.T) {
+	im, _ := imaging.Synthesize(imaging.SynthParams{W: 30, H: 20, Detail: 0.6, Seed: 12})
+	never := randomHorizontalFlipOp{P: 0}
+	always := randomHorizontalFlipOp{P: 1}
+	seed := Seed{Job: 9, Epoch: 9, Sample: 9}
+	a, err := never.Apply(ImageArtifact(im), rngFor(seed, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Image.Equal(im) {
+		t.Fatal("P=0 flipped the image")
+	}
+	b, err := always.Apply(ImageArtifact(im), rngFor(seed, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Image.Equal(imaging.FlipHorizontal(im)) {
+		t.Fatal("P=1 did not flip the image")
+	}
+}
+
+func TestOpIDStrings(t *testing.T) {
+	for id, want := range map[OpID]string{
+		OpDecode:               "Decode",
+		OpRandomResizedCrop:    "RandomResizedCrop",
+		OpRandomHorizontalFlip: "RandomHorizontalFlip",
+		OpToTensor:             "ToTensor",
+		OpNormalize:            "Normalize",
+		OpID(77):               "Op(77)",
+	} {
+		if id.String() != want {
+			t.Errorf("OpID(%d).String() = %q", id, id.String())
+		}
+	}
+	for k, want := range map[Kind]string{KindRaw: "raw", KindImage: "image", KindTensor: "tensor", Kind(9): "kind(9)"} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q", k, k.String())
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func benchTrace(b *testing.B, n int) *dataset.Trace {
+	b.Helper()
+	tr, err := dataset.GenerateTrace(dataset.OpenImages12G().ScaledTo(n), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func BenchmarkSophonPlan40k(b *testing.B) {
+	tr := benchTrace(b, 40000)
+	env := paperEnv(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewSophon().Plan(tr, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCandidates40k(b *testing.B) {
+	tr := benchTrace(b, 40000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := Candidates(tr); len(got) != 40000 {
+			b.Fatal("wrong candidate count")
+		}
+	}
+}
+
+func BenchmarkModelFor40k(b *testing.B) {
+	tr := benchTrace(b, 40000)
+	plan, err := NewUniformPlan("r", tr.N(), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := paperEnv(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ModelFor(tr, plan, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFastFlowDecision40k(b *testing.B) {
+	tr := benchTrace(b, 40000)
+	env := paperEnv(48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (FastFlow{}).Plan(tr, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package policy
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// Sophon is the paper's decision engine. Given per-sample profiles and the
+// environment, it: (1) finds each sample's minimum-size stage and the CPU
+// cost to reach it; (2) ranks samples by offloading efficiency — bytes of
+// traffic saved per storage-CPU second; (3) greedily offloads in that order,
+// updating the four epoch metrics, until T_Net stops being the strictly
+// dominant cost or candidates run out.
+type Sophon struct {
+	// StepGuard, when set, skips any candidate whose admission would
+	// increase the predicted epoch time (an extension over the paper's
+	// stop conditions; benchmarked as Ablation A).
+	StepGuard bool
+}
+
+// NewSophon returns the paper-faithful engine (no step guard).
+func NewSophon() *Sophon { return &Sophon{} }
+
+// Name implements Policy.
+func (s *Sophon) Name() string {
+	if s.StepGuard {
+		return "SOPHON+guard"
+	}
+	return "SOPHON"
+}
+
+// Capabilities implements Policy: SOPHON is the only system with all four
+// properties from Table 1.
+func (s *Sophon) Capabilities() Capabilities {
+	return Capabilities{
+		OperationSelective: Yes,
+		DataPartial:        Yes,
+		DataSelective:      Yes,
+		NearStorage:        Yes,
+	}
+}
+
+// Candidate is one sample's best offloading option.
+type Candidate struct {
+	ID         int
+	Split      int           // stage index of the sample's minimum size
+	Saving     int64         // bytes saved vs shipping raw
+	PrefixCPU  time.Duration // storage-side CPU cost (one core, unscaled)
+	Efficiency float64       // bytes saved per CPU-second; 0 if not worth offloading
+}
+
+// Candidates evaluates every sample's best offload option. Samples whose
+// minimum size is the raw form get Split 0 and Efficiency 0 — the 24 %
+// (OpenImages) / 74 % (ImageNet) of Figure 1c that sit at ratio zero.
+func Candidates(tr *dataset.Trace) []Candidate {
+	out := make([]Candidate, tr.N())
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		c := Candidate{ID: i}
+		k := r.MinStage()
+		if k > 0 {
+			saving := r.Saving(k)
+			if saving > 0 {
+				prefix := r.PrefixTime(k)
+				c.Split = k
+				c.Saving = saving
+				c.PrefixCPU = prefix
+				if prefix > 0 {
+					c.Efficiency = float64(saving) / prefix.Seconds()
+				} else {
+					c.Efficiency = math.Inf(1)
+				}
+			}
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// Plan implements Policy.
+func (s *Sophon) Plan(tr *dataset.Trace, env Env) (*Plan, error) {
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	plan, err := NewUniformPlan(s.Name(), tr.N(), 0)
+	if err != nil {
+		return nil, err
+	}
+	if env.StorageCores == 0 {
+		return plan, nil // offloading impossible; fall back to No-Off behaviour
+	}
+	model, err := ModelFor(tr, plan, env)
+	if err != nil {
+		return nil, err
+	}
+	if !model.NetDominant() {
+		// The workload is not I/O-bound: the profiler would not have
+		// activated offloading (stage-1 gate), and neither do we.
+		return plan, nil
+	}
+
+	cands := Candidates(tr)
+	// Keep only samples with a real benefit, ranked by efficiency
+	// (deterministic tie-break on ID).
+	ranked := cands[:0]
+	for _, c := range cands {
+		if c.Saving > 0 {
+			ranked = append(ranked, c)
+		}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Efficiency != ranked[j].Efficiency {
+			return ranked[i].Efficiency > ranked[j].Efficiency
+		}
+		return ranked[i].ID < ranked[j].ID
+	})
+
+	tg, tcc, tcs, tnet := model.TG, model.TCC, model.TCS, model.TNet
+	storage := time.Duration(env.StorageCores)
+	compute := time.Duration(env.ComputeCores)
+	for _, c := range ranked {
+		if !(tnet > tg && tnet > tcc && tnet > tcs) {
+			break // T_Net is no longer the predominant metric
+		}
+		dNet := time.Duration(float64(c.Saving) / env.Bandwidth * float64(time.Second))
+		dCS := time.Duration(float64(c.PrefixCPU)*env.StorageSlowdown) / storage
+		dCC := c.PrefixCPU / compute
+		if s.StepGuard {
+			cur := EpochModel{TG: tg, TCC: tcc, TCS: tcs, TNet: tnet}.Predicted()
+			next := EpochModel{TG: tg, TCC: tcc - dCC, TCS: tcs + dCS, TNet: tnet - dNet}.Predicted()
+			if next > cur {
+				continue
+			}
+		}
+		plan.Splits[c.ID] = uint8(c.Split)
+		tnet -= dNet
+		tcs += dCS
+		tcc -= dCC
+	}
+	return plan, nil
+}

@@ -1,0 +1,193 @@
+// Package sched implements the paper's multi-tenant future-work extension:
+// dividing a storage node's CPU cores among several concurrent training
+// jobs. The allocator is a marginal-gain water-filling loop: each core goes
+// to the job whose predicted epoch time (after re-running SOPHON's decision
+// engine at the candidate core count) drops the most, until cores run out
+// or no job benefits.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/policy"
+)
+
+// Job is one tenant: a profiled dataset plus its training environment. The
+// environment's StorageCores field is ignored — the allocator decides it.
+type Job struct {
+	Name  string
+	Trace *dataset.Trace
+	Env   policy.Env
+}
+
+// Allocation is the scheduler's output.
+type Allocation struct {
+	// Cores maps job name to granted storage cores.
+	Cores map[string]int
+	// Plans maps job name to the SOPHON plan at the granted core count.
+	Plans map[string]*policy.Plan
+	// Predicted maps job name to the modeled epoch time.
+	Predicted map[string]time.Duration
+}
+
+// TotalPredicted sums the predicted epoch times — the objective the
+// allocator minimizes.
+func (a Allocation) TotalPredicted() time.Duration {
+	var sum time.Duration
+	for _, d := range a.Predicted {
+		sum += d
+	}
+	return sum
+}
+
+// Allocate distributes totalCores across the jobs. A nil engine means the
+// default SOPHON engine.
+func Allocate(jobs []Job, totalCores int, engine *policy.Sophon) (Allocation, error) {
+	if len(jobs) == 0 {
+		return Allocation{}, errors.New("sched: no jobs")
+	}
+	if totalCores < 0 {
+		return Allocation{}, fmt.Errorf("sched: negative core budget %d", totalCores)
+	}
+	if engine == nil {
+		engine = policy.NewSophon()
+	}
+	seen := make(map[string]bool, len(jobs))
+	for i, j := range jobs {
+		if j.Name == "" {
+			return Allocation{}, fmt.Errorf("sched: job %d has no name", i)
+		}
+		if seen[j.Name] {
+			return Allocation{}, fmt.Errorf("sched: duplicate job name %q", j.Name)
+		}
+		seen[j.Name] = true
+		if j.Trace == nil || j.Trace.N() == 0 {
+			return Allocation{}, fmt.Errorf("sched: job %q has an empty trace", j.Name)
+		}
+		env := j.Env
+		env.StorageCores = 0
+		if err := env.Validate(); err != nil {
+			return Allocation{}, fmt.Errorf("sched: job %q: %w", j.Name, err)
+		}
+	}
+
+	// evaluate returns the plan and predicted epoch for a job at c cores,
+	// memoized per (job, cores).
+	type outcome struct {
+		plan *policy.Plan
+		time time.Duration
+	}
+	memo := make(map[string]outcome)
+	evaluate := func(j Job, cores int) (outcome, error) {
+		key := fmt.Sprintf("%s/%d", j.Name, cores)
+		if o, ok := memo[key]; ok {
+			return o, nil
+		}
+		env := j.Env
+		env.StorageCores = cores
+		plan, err := engine.Plan(j.Trace, env)
+		if err != nil {
+			return outcome{}, fmt.Errorf("sched: plan %q at %d cores: %w", j.Name, cores, err)
+		}
+		m, err := policy.ModelFor(j.Trace, plan, env)
+		if err != nil {
+			return outcome{}, fmt.Errorf("sched: model %q at %d cores: %w", j.Name, cores, err)
+		}
+		o := outcome{plan: plan, time: m.Predicted()}
+		memo[key] = o
+		return o, nil
+	}
+
+	granted := make(map[string]int, len(jobs))
+	current := make(map[string]outcome, len(jobs))
+	for _, j := range jobs {
+		o, err := evaluate(j, 0)
+		if err != nil {
+			return Allocation{}, err
+		}
+		current[j.Name] = o
+	}
+
+	for c := 0; c < totalCores; c++ {
+		bestIdx := -1
+		var bestGain time.Duration
+		var bestNext outcome
+		for i, j := range jobs {
+			next, err := evaluate(j, granted[j.Name]+1)
+			if err != nil {
+				return Allocation{}, err
+			}
+			gain := current[j.Name].time - next.time
+			if gain > bestGain { // ties resolve to the earliest job
+				bestGain = gain
+				bestIdx = i
+				bestNext = next
+			}
+		}
+		if bestIdx < 0 || bestGain <= 0 {
+			break // no job benefits from another core
+		}
+		name := jobs[bestIdx].Name
+		granted[name]++
+		current[name] = bestNext
+	}
+
+	alloc := Allocation{
+		Cores:     granted,
+		Plans:     make(map[string]*policy.Plan, len(jobs)),
+		Predicted: make(map[string]time.Duration, len(jobs)),
+	}
+	for _, j := range jobs {
+		if _, ok := granted[j.Name]; !ok {
+			granted[j.Name] = 0
+		}
+		alloc.Plans[j.Name] = current[j.Name].plan
+		alloc.Predicted[j.Name] = current[j.Name].time
+	}
+	alloc.Cores = granted
+	return alloc, nil
+}
+
+// EvenSplit is the naive baseline: totalCores divided equally (remainder to
+// the first jobs), with SOPHON planning at the fixed grant.
+func EvenSplit(jobs []Job, totalCores int, engine *policy.Sophon) (Allocation, error) {
+	if len(jobs) == 0 {
+		return Allocation{}, errors.New("sched: no jobs")
+	}
+	if totalCores < 0 {
+		return Allocation{}, fmt.Errorf("sched: negative core budget %d", totalCores)
+	}
+	if engine == nil {
+		engine = policy.NewSophon()
+	}
+	base := totalCores / len(jobs)
+	rem := totalCores % len(jobs)
+	alloc := Allocation{
+		Cores:     make(map[string]int, len(jobs)),
+		Plans:     make(map[string]*policy.Plan, len(jobs)),
+		Predicted: make(map[string]time.Duration, len(jobs)),
+	}
+	for i, j := range jobs {
+		cores := base
+		if i < rem {
+			cores++
+		}
+		env := j.Env
+		env.StorageCores = cores
+		plan, err := engine.Plan(j.Trace, env)
+		if err != nil {
+			return Allocation{}, fmt.Errorf("sched: even split %q: %w", j.Name, err)
+		}
+		m, err := policy.ModelFor(j.Trace, plan, env)
+		if err != nil {
+			return Allocation{}, fmt.Errorf("sched: even split model %q: %w", j.Name, err)
+		}
+		alloc.Cores[j.Name] = cores
+		alloc.Plans[j.Name] = plan
+		alloc.Predicted[j.Name] = m.Predicted()
+	}
+	return alloc, nil
+}

@@ -1,0 +1,226 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/gpu"
+	"repro/internal/netsim"
+	"repro/internal/policy"
+)
+
+func jobEnv() policy.Env {
+	return policy.Env{
+		Bandwidth:       netsim.Mbps(500),
+		ComputeCores:    48,
+		StorageSlowdown: 1,
+		GPU:             gpu.AlexNet,
+	}
+}
+
+func makeJobs(t testing.TB) []Job {
+	t.Helper()
+	oi, err := dataset.GenerateTrace(dataset.OpenImages12G().ScaledTo(1500), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oi2, err := dataset.GenerateTrace(dataset.OpenImages12G().ScaledTo(1500), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := dataset.GenerateTrace(dataset.ImageNet11G().ScaledTo(1500), 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Job{
+		{Name: "job-oi-a", Trace: oi, Env: jobEnv()},
+		{Name: "job-oi-b", Trace: oi2, Env: jobEnv()},
+		{Name: "job-in", Trace: in, Env: jobEnv()},
+	}
+}
+
+func TestAllocateValidation(t *testing.T) {
+	if _, err := Allocate(nil, 4, nil); err == nil {
+		t.Fatal("accepted no jobs")
+	}
+	jobs := makeJobs(t)
+	if _, err := Allocate(jobs, -1, nil); err == nil {
+		t.Fatal("accepted negative cores")
+	}
+	dup := []Job{jobs[0], jobs[0]}
+	if _, err := Allocate(dup, 2, nil); err == nil {
+		t.Fatal("accepted duplicate names")
+	}
+	anon := []Job{{Trace: jobs[0].Trace, Env: jobEnv()}}
+	if _, err := Allocate(anon, 2, nil); err == nil {
+		t.Fatal("accepted unnamed job")
+	}
+	empty := []Job{{Name: "e", Trace: &dataset.Trace{}, Env: jobEnv()}}
+	if _, err := Allocate(empty, 2, nil); err == nil {
+		t.Fatal("accepted empty trace")
+	}
+	bad := []Job{{Name: "b", Trace: jobs[0].Trace, Env: policy.Env{}}}
+	if _, err := Allocate(bad, 2, nil); err == nil {
+		t.Fatal("accepted invalid env")
+	}
+}
+
+func TestAllocateSpendsBudget(t *testing.T) {
+	jobs := makeJobs(t)
+	const total = 6
+	alloc, err := Allocate(jobs, total, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spent := 0
+	for _, c := range alloc.Cores {
+		if c < 0 {
+			t.Fatalf("negative grant: %v", alloc.Cores)
+		}
+		spent += c
+	}
+	if spent > total {
+		t.Fatalf("spent %d of %d cores", spent, total)
+	}
+	// I/O-bound jobs benefit from at least some cores.
+	if spent == 0 {
+		t.Fatal("allocator granted nothing to I/O-bound jobs")
+	}
+	for name, plan := range alloc.Plans {
+		if alloc.Cores[name] == 0 && plan.OffloadedCount() > 0 {
+			t.Fatalf("job %s offloads with 0 cores", name)
+		}
+	}
+}
+
+func TestAllocateZeroBudget(t *testing.T) {
+	jobs := makeJobs(t)
+	alloc, err := Allocate(jobs, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, c := range alloc.Cores {
+		if c != 0 {
+			t.Fatalf("job %s granted %d cores from a zero budget", name, c)
+		}
+	}
+	if alloc.TotalPredicted() <= 0 {
+		t.Fatal("no predicted times")
+	}
+}
+
+func TestAllocateImprovesTotalOverZero(t *testing.T) {
+	jobs := makeJobs(t)
+	zero, err := Allocate(jobs, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	some, err := Allocate(jobs, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if some.TotalPredicted() >= zero.TotalPredicted() {
+		t.Fatalf("8 cores (%v) not better than 0 (%v)",
+			some.TotalPredicted(), zero.TotalPredicted())
+	}
+}
+
+// TestAllocateBeatsEvenSplit: marginal-gain allocation is never worse than
+// the naive even split, and typically better when jobs differ.
+func TestAllocateBeatsEvenSplit(t *testing.T) {
+	jobs := makeJobs(t)
+	const total = 5 // uneven across 3 jobs
+	smart, err := Allocate(jobs, total, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	even, err := EvenSplit(jobs, total, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smart.TotalPredicted() > even.TotalPredicted() {
+		t.Fatalf("water-filling (%v) worse than even split (%v)",
+			smart.TotalPredicted(), even.TotalPredicted())
+	}
+}
+
+func TestAllocateMonotoneInBudget(t *testing.T) {
+	jobs := makeJobs(t)
+	var prev Allocation
+	for i, budget := range []int{0, 2, 4, 8, 16} {
+		alloc, err := Allocate(jobs, budget, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && alloc.TotalPredicted() > prev.TotalPredicted() {
+			t.Fatalf("budget %d total %v worse than smaller budget %v",
+				budget, alloc.TotalPredicted(), prev.TotalPredicted())
+		}
+		prev = alloc
+	}
+}
+
+func TestAllocateStopsWhenNoGain(t *testing.T) {
+	jobs := makeJobs(t)
+	// With a huge budget the allocator must stop early rather than spend
+	// hundreds of cores on fully-offloaded jobs.
+	alloc, err := Allocate(jobs, 500, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spent := 0
+	for _, c := range alloc.Cores {
+		spent += c
+	}
+	if spent >= 500 {
+		t.Fatalf("allocator burned the whole %d-core budget", spent)
+	}
+}
+
+// TestAllocationPredictionsMatchEngine: the scheduler's analytic epoch
+// predictions track a discrete-event replay of the granted plans.
+func TestAllocationPredictionsMatchEngine(t *testing.T) {
+	jobs := makeJobs(t)
+	alloc, err := Allocate(jobs, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		env := j.Env
+		env.StorageCores = alloc.Cores[j.Name]
+		res, err := engine.Run(engine.Config{
+			Trace: j.Trace, Plan: alloc.Plans[j.Name], Env: env, BatchSize: 256,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		predicted := alloc.Predicted[j.Name].Seconds()
+		simulated := res.EpochTime.Seconds()
+		if diff := (simulated - predicted) / simulated; diff < -0.12 || diff > 0.12 {
+			t.Errorf("job %s: predicted %.1fs vs simulated %.1fs (%.0f%% off)",
+				j.Name, predicted, simulated, 100*diff)
+		}
+	}
+}
+
+func TestEvenSplitValidation(t *testing.T) {
+	if _, err := EvenSplit(nil, 3, nil); err == nil {
+		t.Fatal("accepted no jobs")
+	}
+	jobs := makeJobs(t)
+	if _, err := EvenSplit(jobs, -2, nil); err == nil {
+		t.Fatal("accepted negative budget")
+	}
+	alloc, err := EvenSplit(jobs, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spent := 0
+	for _, c := range alloc.Cores {
+		spent += c
+	}
+	if spent != 7 {
+		t.Fatalf("even split spent %d of 7", spent)
+	}
+}

@@ -1,0 +1,128 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/wire"
+)
+
+func TestFetchBatchMatchesSingleFetches(t *testing.T) {
+	set := testImageSet(t, 4)
+	st, err := FromImageSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pipeline.DefaultStandard()
+	_, dial := startServer(t, ServerConfig{Store: st, Pipeline: p, Cores: 2})
+	c := dial()
+
+	samples := []uint32{0, 1, 2, 3}
+	splits := []int{0, 1, 2, 5}
+	const epoch = 4
+	batch, err := c.FetchBatch(samples, splits, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 4 {
+		t.Fatalf("batch returned %d results", len(batch))
+	}
+	for i := range samples {
+		single, err := c.Fetch(samples[i], splits[i], epoch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !batch[i].Artifact.Equal(single.Artifact) {
+			t.Fatalf("item %d differs between batch and single fetch", i)
+		}
+		if batch[i].Split != splits[i] {
+			t.Fatalf("item %d split %d", i, batch[i].Split)
+		}
+	}
+}
+
+func TestFetchBatchWireAccounting(t *testing.T) {
+	st := testStore(t, 3)
+	_, dial := startServer(t, ServerConfig{Store: st, Pipeline: pipeline.DefaultStandard(), Cores: 1})
+	c := dial()
+	batch, err := c.FetchBatch([]uint32{0, 1, 2}, []int{0, 0, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, r := range batch {
+		if r.WireBytes <= 0 {
+			t.Fatal("zero wire bytes")
+		}
+		total += r.WireBytes
+	}
+	// Batched accounting sums to the whole frame; it must be smaller than
+	// three individual response frames would be.
+	var singles int
+	for i := uint32(0); i < 3; i++ {
+		r, err := c.Fetch(i, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		singles += r.WireBytes
+	}
+	if total >= singles {
+		t.Fatalf("batched wire bytes %d not below %d", total, singles)
+	}
+}
+
+func TestFetchBatchValidation(t *testing.T) {
+	st := testStore(t, 2)
+	_, dial := startServer(t, ServerConfig{Store: st, Pipeline: pipeline.DefaultStandard(), Cores: 1})
+	c := dial()
+
+	if _, err := c.FetchBatch(nil, nil, 1); err == nil {
+		t.Fatal("accepted empty batch")
+	}
+	if _, err := c.FetchBatch([]uint32{0}, []int{0, 1}, 1); err == nil {
+		t.Fatal("accepted mismatched splits")
+	}
+	if _, err := c.FetchBatch([]uint32{0}, []int{999}, 1); err == nil {
+		t.Fatal("accepted out-of-range split")
+	}
+	big := make([]uint32, wire.MaxBatchItems+1)
+	bigSplits := make([]int, len(big))
+	if _, err := c.FetchBatch(big, bigSplits, 1); err == nil {
+		t.Fatal("accepted oversized batch")
+	}
+	if _, err := c.FetchBatch([]uint32{0, 99}, []int{0, 0}, 1); !errors.Is(err, ErrSampleMissing) {
+		t.Fatalf("missing sample err = %v", err)
+	}
+	if _, err := c.FetchBatch([]uint32{0}, []int{6}, 1); !errors.Is(err, ErrBadSplitReq) {
+		t.Fatalf("bad split err = %v", err)
+	}
+	c.Close()
+	if _, err := c.FetchBatch([]uint32{0}, []int{0}, 1); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("closed client err = %v", err)
+	}
+}
+
+func TestFetchBatchDeterministicAugmentation(t *testing.T) {
+	// The same (job, epoch, sample) must produce identical artifacts via
+	// batch and single paths — augmentation seeds don't depend on request
+	// shape.
+	set := testImageSet(t, 1)
+	st, _ := FromImageSet(set)
+	p := pipeline.DefaultStandard()
+	_, dial := startServer(t, ServerConfig{Store: st, Pipeline: p, Cores: 1})
+	a := dial()
+	b := dial()
+
+	batch, err := a.FetchBatch([]uint32{0}, []int{3}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := b.Fetch(0, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !batch[0].Artifact.Equal(single.Artifact) {
+		t.Fatal("batch and single artifacts differ for the same seed context")
+	}
+}

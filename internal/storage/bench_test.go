@@ -1,0 +1,50 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+func BenchmarkFetchRaw(b *testing.B) {
+	st := testStore(b, 8)
+	_, dial := startServer(b, ServerConfig{Store: st, Pipeline: pipeline.DefaultStandard(), Cores: 2})
+	c := dial()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Fetch(uint32(i%8), 0, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFetchOffloadedPrefix(b *testing.B) {
+	st := testStore(b, 8)
+	_, dial := startServer(b, ServerConfig{Store: st, Pipeline: pipeline.DefaultStandard(), Cores: 2})
+	c := dial()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Fetch(uint32(i%8), 2, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecutorPrefix(b *testing.B) {
+	set := testImageSet(b, 1)
+	raw, err := set.Raw(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewExecutor(pipeline.DefaultStandard(), 4, 1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RunPrefix(raw, 2, pipeline.Seed{Job: 1, Epoch: 1, Sample: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

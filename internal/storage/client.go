@@ -1,0 +1,248 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/pipeline"
+	"repro/internal/wire"
+)
+
+// Client is a compute-node connection to the storage server. A Client is
+// safe for concurrent use; requests on one client serialize, so parallel
+// loaders should each hold their own Client (mirroring one stream per
+// worker).
+type Client struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	nextReq uint64
+	ack     wire.HelloAck
+	closed  bool
+}
+
+// Client-side errors.
+var (
+	ErrFetchFailed   = errors.New("storage: fetch failed on server")
+	ErrSampleMissing = errors.New("storage: sample not found")
+	ErrBadSplitReq   = errors.New("storage: server rejected split")
+	ErrClientClosed  = errors.New("storage: client closed")
+)
+
+// NewClient performs the handshake over an established connection.
+func NewClient(conn net.Conn, jobID uint64) (*Client, error) {
+	return NewClientWithVersion(conn, jobID, wire.Version)
+}
+
+// NewClientWithVersion is NewClient with an explicit protocol version; it
+// exists so version negotiation can be exercised.
+func NewClientWithVersion(conn net.Conn, jobID uint64, version uint16) (*Client, error) {
+	if err := wire.Write(conn, &wire.Hello{Version: version, JobID: jobID}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("storage: hello: %w", err)
+	}
+	msg, err := wire.Read(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("storage: hello ack: %w", err)
+	}
+	switch m := msg.(type) {
+	case *wire.HelloAck:
+		return &Client{conn: conn, ack: *m}, nil
+	case *wire.ErrorResp:
+		conn.Close()
+		return nil, fmt.Errorf("storage: server rejected handshake: %s", m.Message)
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("storage: unexpected handshake reply %s", msg.Type())
+	}
+}
+
+// Dial connects over TCP and handshakes.
+func Dial(addr string, jobID uint64) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("storage: dial %s: %w", addr, err)
+	}
+	return NewClient(conn, jobID)
+}
+
+// DatasetName returns the server's dataset name.
+func (c *Client) DatasetName() string { return c.ack.DatasetName }
+
+// NumSamples returns the dataset size reported by the server.
+func (c *Client) NumSamples() int { return int(c.ack.NumSamples) }
+
+// FetchResult carries a fetched artifact plus its transfer accounting.
+type FetchResult struct {
+	Artifact  pipeline.Artifact
+	Split     int
+	WireBytes int // total response frame size over the link
+}
+
+// Fetch requests sample id with the first split ops executed server-side,
+// returning the decoded artifact.
+func (c *Client) Fetch(sample uint32, split int, epoch uint64) (FetchResult, error) {
+	if split < 0 || split > 255 {
+		return FetchResult{}, fmt.Errorf("storage: split %d out of range", split)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return FetchResult{}, ErrClientClosed
+	}
+	c.nextReq++
+	req := &wire.Fetch{RequestID: c.nextReq, Sample: sample, Split: uint8(split), Epoch: epoch}
+	if err := wire.Write(c.conn, req); err != nil {
+		return FetchResult{}, fmt.Errorf("storage: send fetch: %w", err)
+	}
+	msg, err := wire.Read(c.conn)
+	if err != nil {
+		return FetchResult{}, fmt.Errorf("storage: read fetch resp: %w", err)
+	}
+	resp, ok := msg.(*wire.FetchResp)
+	if !ok {
+		if er, isErr := msg.(*wire.ErrorResp); isErr {
+			return FetchResult{}, fmt.Errorf("storage: server error %d: %s", er.Code, er.Message)
+		}
+		return FetchResult{}, fmt.Errorf("storage: unexpected reply %s", msg.Type())
+	}
+	if resp.RequestID != req.RequestID {
+		return FetchResult{}, fmt.Errorf("storage: response for request %d, want %d", resp.RequestID, req.RequestID)
+	}
+	switch resp.Status {
+	case wire.FetchOK:
+	case wire.FetchNotFound:
+		return FetchResult{}, fmt.Errorf("%w: sample %d", ErrSampleMissing, sample)
+	case wire.FetchBadSplit:
+		return FetchResult{}, fmt.Errorf("%w: split %d", ErrBadSplitReq, split)
+	default:
+		return FetchResult{}, fmt.Errorf("%w: sample %d split %d", ErrFetchFailed, sample, split)
+	}
+	art, err := pipeline.DecodeArtifact(resp.Artifact)
+	if err != nil {
+		return FetchResult{}, fmt.Errorf("storage: decode artifact: %w", err)
+	}
+	return FetchResult{
+		Artifact:  art,
+		Split:     int(resp.Split),
+		WireBytes: wire.FrameSize(resp),
+	}, nil
+}
+
+// FetchBatch requests up to wire.MaxBatchItems samples in one round trip.
+// splits must be the same length as samples. Results come back in request
+// order; a per-item failure fails the whole call (the trainer treats any
+// missing sample as fatal anyway).
+func (c *Client) FetchBatch(samples []uint32, splits []int, epoch uint64) ([]FetchResult, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("storage: empty batch")
+	}
+	if len(samples) != len(splits) {
+		return nil, fmt.Errorf("storage: %d samples but %d splits", len(samples), len(splits))
+	}
+	if len(samples) > wire.MaxBatchItems {
+		return nil, fmt.Errorf("storage: batch of %d exceeds %d", len(samples), wire.MaxBatchItems)
+	}
+	items := make([]wire.FetchBatchItem, len(samples))
+	for i := range samples {
+		if splits[i] < 0 || splits[i] > 255 {
+			return nil, fmt.Errorf("storage: split %d out of range", splits[i])
+		}
+		items[i] = wire.FetchBatchItem{Sample: samples[i], Split: uint8(splits[i])}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClientClosed
+	}
+	c.nextReq++
+	req := &wire.FetchBatch{RequestID: c.nextReq, Epoch: epoch, Items: items}
+	if err := wire.Write(c.conn, req); err != nil {
+		return nil, fmt.Errorf("storage: send batch: %w", err)
+	}
+	msg, err := wire.Read(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("storage: read batch resp: %w", err)
+	}
+	resp, ok := msg.(*wire.FetchBatchResp)
+	if !ok {
+		if er, isErr := msg.(*wire.ErrorResp); isErr {
+			return nil, fmt.Errorf("storage: server error %d: %s", er.Code, er.Message)
+		}
+		return nil, fmt.Errorf("storage: unexpected batch reply %s", msg.Type())
+	}
+	if resp.RequestID != req.RequestID {
+		return nil, fmt.Errorf("storage: batch response for request %d, want %d", resp.RequestID, req.RequestID)
+	}
+	if len(resp.Items) != len(items) {
+		return nil, fmt.Errorf("storage: batch returned %d items, want %d", len(resp.Items), len(items))
+	}
+	// Amortize the frame overhead across items by payload share.
+	frame := wire.FrameSize(resp)
+	var payload int
+	for _, it := range resp.Items {
+		payload += len(it.Artifact)
+	}
+	overhead := frame - payload
+	out := make([]FetchResult, len(resp.Items))
+	for i, it := range resp.Items {
+		switch it.Status {
+		case wire.FetchOK:
+		case wire.FetchNotFound:
+			return nil, fmt.Errorf("%w: sample %d", ErrSampleMissing, it.Sample)
+		case wire.FetchBadSplit:
+			return nil, fmt.Errorf("%w: sample %d split %d", ErrBadSplitReq, it.Sample, it.Split)
+		default:
+			return nil, fmt.Errorf("%w: sample %d split %d", ErrFetchFailed, it.Sample, it.Split)
+		}
+		art, err := pipeline.DecodeArtifact(it.Artifact)
+		if err != nil {
+			return nil, fmt.Errorf("storage: decode batch artifact %d: %w", it.Sample, err)
+		}
+		share := overhead / len(resp.Items)
+		if i == 0 {
+			share += overhead % len(resp.Items)
+		}
+		out[i] = FetchResult{
+			Artifact:  art,
+			Split:     int(it.Split),
+			WireBytes: len(it.Artifact) + share,
+		}
+	}
+	return out, nil
+}
+
+// Stats fetches the server's counters.
+func (c *Client) Stats() (wire.StatsResp, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return wire.StatsResp{}, ErrClientClosed
+	}
+	if err := wire.Write(c.conn, &wire.StatsReq{}); err != nil {
+		return wire.StatsResp{}, fmt.Errorf("storage: send stats req: %w", err)
+	}
+	msg, err := wire.Read(c.conn)
+	if err != nil {
+		return wire.StatsResp{}, fmt.Errorf("storage: read stats: %w", err)
+	}
+	resp, ok := msg.(*wire.StatsResp)
+	if !ok {
+		return wire.StatsResp{}, fmt.Errorf("storage: unexpected stats reply %s", msg.Type())
+	}
+	return *resp, nil
+}
+
+// Close shuts the connection; it is idempotent.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}

@@ -1,0 +1,65 @@
+package storage
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+func TestServerRejectsNegativeIdleTimeout(t *testing.T) {
+	st := testStore(t, 1)
+	if _, err := NewServer(ServerConfig{
+		Store: st, Pipeline: pipeline.DefaultStandard(), IdleTimeout: -time.Second,
+	}); err == nil {
+		t.Fatal("accepted negative idle timeout")
+	}
+}
+
+// TestIdleTimeoutDropsSilentClients: a handshaked-but-silent client is
+// disconnected; an active client is not.
+func TestIdleTimeoutDropsSilentClients(t *testing.T) {
+	st := testStore(t, 2)
+	srv, err := NewServer(ServerConfig{
+		Store:       st,
+		Pipeline:    pipeline.DefaultStandard(),
+		Cores:       1,
+		IdleTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	silent, err := Dial(l.Addr().String(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer silent.Close()
+
+	active, err := Dial(l.Addr().String(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer active.Close()
+
+	// Keep the active client busy past the idle window.
+	deadline := time.Now().Add(400 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if _, err := active.Fetch(0, 0, 1); err != nil {
+			t.Fatalf("active client dropped: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The silent client's connection must be gone by now.
+	if _, err := silent.Fetch(0, 0, 1); err == nil {
+		t.Fatal("silent client survived the idle timeout")
+	}
+}

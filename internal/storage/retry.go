@@ -1,0 +1,171 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/simclock"
+	"repro/internal/wire"
+)
+
+// ReconnectingClient wraps a dialer with transparent reconnect-and-retry:
+// when an operation fails on the current connection, it is closed, a fresh
+// connection is dialed (with backoff), and the operation retried. Fetches
+// are idempotent — augmentation seeds depend only on (job, epoch, sample) —
+// so retrying is always safe.
+type ReconnectingClient struct {
+	dial     func() (*Client, error)
+	attempts int
+	backoff  time.Duration
+	clock    simclock.Clock
+
+	mu      sync.Mutex
+	current *Client
+	closed  bool
+	retries int64
+}
+
+// NewReconnecting dials eagerly and returns a client that survives
+// connection failures. attempts is the per-operation try count (≥ 1);
+// backoff is the pause before each redial.
+func NewReconnecting(dial func() (*Client, error), attempts int, backoff time.Duration, clock simclock.Clock) (*ReconnectingClient, error) {
+	if dial == nil {
+		return nil, errors.New("storage: nil dialer")
+	}
+	if attempts < 1 {
+		return nil, fmt.Errorf("storage: attempts %d < 1", attempts)
+	}
+	if clock == nil {
+		clock = simclock.Real()
+	}
+	first, err := dial()
+	if err != nil {
+		return nil, err
+	}
+	return &ReconnectingClient{
+		dial:     dial,
+		attempts: attempts,
+		backoff:  backoff,
+		clock:    clock,
+		current:  first,
+	}, nil
+}
+
+// Retries reports how many reconnects have happened.
+func (r *ReconnectingClient) Retries() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.retries
+}
+
+// DatasetName returns the dataset name from the live connection.
+func (r *ReconnectingClient) DatasetName() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.current.DatasetName()
+}
+
+// NumSamples returns the dataset size from the live connection.
+func (r *ReconnectingClient) NumSamples() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.current.NumSamples()
+}
+
+// withRetry runs op against the current client, reconnecting between
+// attempts. Application-level rejections (missing sample, bad split) are
+// returned immediately — only transport errors trigger a retry.
+func (r *ReconnectingClient) withRetry(op func(*Client) error) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClientClosed
+	}
+	var lastErr error
+	for try := 0; try < r.attempts; try++ {
+		if try > 0 {
+			r.current.Close()
+			if r.backoff > 0 {
+				r.clock.Sleep(r.backoff)
+			}
+			next, err := r.dial()
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			r.current = next
+			r.retries++
+		}
+		err := op(r.current)
+		if err == nil {
+			return nil
+		}
+		if isPermanent(err) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("storage: giving up after %d attempts: %w", r.attempts, lastErr)
+}
+
+// isPermanent reports whether the server rejected the request itself (no
+// point retrying).
+func isPermanent(err error) bool {
+	return errors.Is(err, ErrSampleMissing) ||
+		errors.Is(err, ErrBadSplitReq) ||
+		errors.Is(err, ErrFetchFailed)
+}
+
+// Fetch is Client.Fetch with reconnect-and-retry.
+func (r *ReconnectingClient) Fetch(sample uint32, split int, epoch uint64) (FetchResult, error) {
+	var out FetchResult
+	err := r.withRetry(func(c *Client) error {
+		res, err := c.Fetch(sample, split, epoch)
+		if err != nil {
+			return err
+		}
+		out = res
+		return nil
+	})
+	return out, err
+}
+
+// FetchBatch is Client.FetchBatch with reconnect-and-retry.
+func (r *ReconnectingClient) FetchBatch(samples []uint32, splits []int, epoch uint64) ([]FetchResult, error) {
+	var out []FetchResult
+	err := r.withRetry(func(c *Client) error {
+		res, err := c.FetchBatch(samples, splits, epoch)
+		if err != nil {
+			return err
+		}
+		out = res
+		return nil
+	})
+	return out, err
+}
+
+// Stats is Client.Stats with reconnect-and-retry.
+func (r *ReconnectingClient) Stats() (out wire.StatsResp, err error) {
+	err = r.withRetry(func(c *Client) error {
+		s, err := c.Stats()
+		if err != nil {
+			return err
+		}
+		out = s
+		return nil
+	})
+	return out, err
+}
+
+// Close shuts the live connection; idempotent.
+func (r *ReconnectingClient) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	return r.current.Close()
+}

@@ -1,0 +1,302 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/pipeline"
+	"repro/internal/wire"
+)
+
+// ServerConfig configures a storage server.
+type ServerConfig struct {
+	Store    *Store
+	Pipeline *pipeline.Pipeline
+	// Cores is the CPU-core budget for offloaded preprocessing; 0 disables
+	// offloading (fetches with Split > 0 fail).
+	Cores int
+	// Slowdown models weaker storage-node CPUs (1 = same as compute node).
+	Slowdown float64
+	// IdleTimeout drops connections with no request for this long
+	// (0 = never). Applies between requests, not during handling.
+	IdleTimeout time.Duration
+	// Logger receives connection-level errors; nil silences them.
+	Logger *log.Logger
+}
+
+// Server answers wire-protocol requests: handshake, fetches with offload
+// directives, and stats. Each connection is served by one goroutine with
+// sequential request handling (clients parallelize by opening one
+// connection per loader worker, as the trainer does).
+type Server struct {
+	store       *Store
+	pipe        *pipeline.Pipeline
+	exec        *Executor
+	counters    *Counters
+	logger      *log.Logger
+	idleTimeout time.Duration
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer validates the configuration and builds a server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("storage: server needs a store")
+	}
+	if cfg.Pipeline == nil {
+		return nil, errors.New("storage: server needs a pipeline")
+	}
+	if cfg.Slowdown == 0 {
+		cfg.Slowdown = 1
+	}
+	counters := &Counters{}
+	exec, err := NewExecutor(cfg.Pipeline, cfg.Cores, cfg.Slowdown, counters)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.IdleTimeout < 0 {
+		return nil, errors.New("storage: negative idle timeout")
+	}
+	return &Server{
+		store:       cfg.Store,
+		pipe:        cfg.Pipeline,
+		exec:        exec,
+		counters:    counters,
+		logger:      cfg.Logger,
+		idleTimeout: cfg.IdleTimeout,
+		conns:       make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Counters exposes the server's accounting (read with atomic loads).
+func (s *Server) Counters() *Counters { return s.counters }
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("storage: server closed")
+
+// Serve accepts connections on l until Close. It returns ErrServerClosed on
+// graceful shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.listener = l
+	s.mu.Unlock()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return fmt.Errorf("storage: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops the listener, closes active connections, and waits for
+// handlers to drain. It is idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}
+
+// send writes a message and charges its frame size to the traffic counter.
+func (s *Server) send(conn net.Conn, m wire.Message) error {
+	if err := wire.Write(conn, m); err != nil {
+		return err
+	}
+	s.counters.BytesSent.Add(uint64(wire.FrameSize(m)))
+	return nil
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+
+	// Handshake.
+	first, err := wire.Read(conn)
+	if err != nil {
+		if err != io.EOF {
+			s.logf("storage: handshake read: %v", err)
+		}
+		return
+	}
+	hello, ok := first.(*wire.Hello)
+	if !ok {
+		s.send(conn, &wire.ErrorResp{Code: wire.CodeBadRequest, Message: "expected Hello"})
+		return
+	}
+	if hello.Version != wire.Version {
+		s.send(conn, &wire.ErrorResp{Code: wire.CodeBadRequest,
+			Message: fmt.Sprintf("unsupported version %d", hello.Version)})
+		return
+	}
+	jobID := hello.JobID
+	if err := s.send(conn, &wire.HelloAck{
+		Version:     wire.Version,
+		DatasetName: s.store.Name(),
+		NumSamples:  uint32(s.store.N()),
+	}); err != nil {
+		s.logf("storage: handshake ack: %v", err)
+		return
+	}
+
+	for {
+		if s.idleTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.idleTimeout)); err != nil {
+				s.logf("storage: set deadline: %v", err)
+				return
+			}
+		}
+		msg, err := wire.Read(conn)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) && !errors.Is(err, os.ErrDeadlineExceeded) {
+				s.logf("storage: read: %v", err)
+			}
+			return
+		}
+		switch req := msg.(type) {
+		case *wire.Fetch:
+			resp := s.handleFetch(jobID, req)
+			if err := s.send(conn, resp); err != nil {
+				s.logf("storage: send fetch resp: %v", err)
+				return
+			}
+		case *wire.FetchBatch:
+			resp := s.handleFetchBatch(jobID, req)
+			if err := s.send(conn, resp); err != nil {
+				s.logf("storage: send batch resp: %v", err)
+				return
+			}
+		case *wire.StatsReq:
+			resp := &wire.StatsResp{
+				SamplesServed:  s.counters.SamplesServed.Load(),
+				OpsExecuted:    s.counters.OpsExecuted.Load(),
+				BytesSent:      s.counters.BytesSent.Load(),
+				ServerCPUNanos: s.counters.CPUNanos.Load(),
+			}
+			if err := s.send(conn, resp); err != nil {
+				s.logf("storage: send stats: %v", err)
+				return
+			}
+		default:
+			s.send(conn, &wire.ErrorResp{Code: wire.CodeBadRequest,
+				Message: fmt.Sprintf("unexpected %s", msg.Type())})
+			return
+		}
+	}
+}
+
+// handleFetchBatch serves a batched fetch: items execute concurrently (the
+// executor's core budget still bounds actual CPU parallelism) and the
+// response preserves request order.
+func (s *Server) handleFetchBatch(jobID uint64, req *wire.FetchBatch) *wire.FetchBatchResp {
+	resp := &wire.FetchBatchResp{
+		RequestID: req.RequestID,
+		Items:     make([]wire.FetchBatchRespItem, len(req.Items)),
+	}
+	var wg sync.WaitGroup
+	for i, item := range req.Items {
+		wg.Add(1)
+		go func(i int, item wire.FetchBatchItem) {
+			defer wg.Done()
+			one := s.handleFetch(jobID, &wire.Fetch{
+				RequestID: req.RequestID,
+				Sample:    item.Sample,
+				Split:     item.Split,
+				Epoch:     req.Epoch,
+			})
+			resp.Items[i] = wire.FetchBatchRespItem{
+				Sample:   one.Sample,
+				Split:    one.Split,
+				Status:   one.Status,
+				Artifact: one.Artifact,
+			}
+		}(i, item)
+	}
+	wg.Wait()
+	return resp
+}
+
+func (s *Server) handleFetch(jobID uint64, req *wire.Fetch) *wire.FetchResp {
+	resp := &wire.FetchResp{RequestID: req.RequestID, Sample: req.Sample, Split: req.Split}
+	raw, err := s.store.Get(req.Sample)
+	if err != nil {
+		resp.Status = wire.FetchNotFound
+		return resp
+	}
+	split := int(req.Split)
+	if split > s.pipe.Len() || (split > 0 && s.exec.Cores() == 0) {
+		resp.Status = wire.FetchBadSplit
+		return resp
+	}
+	seed := pipeline.Seed{Job: jobID, Epoch: req.Epoch, Sample: uint64(req.Sample)}
+	art, err := s.exec.RunPrefix(raw, split, seed)
+	if err != nil {
+		s.logf("storage: prefix sample=%d split=%d: %v", req.Sample, split, err)
+		resp.Status = wire.FetchFailed
+		return resp
+	}
+	encoded, err := art.Encode()
+	if err != nil {
+		s.logf("storage: encode sample=%d: %v", req.Sample, err)
+		resp.Status = wire.FetchFailed
+		return resp
+	}
+	resp.Status = wire.FetchOK
+	resp.Artifact = encoded
+	s.counters.SamplesServed.Add(1)
+	return resp
+}

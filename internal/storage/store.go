@@ -1,0 +1,77 @@
+// Package storage implements the remote-storage side of SOPHON: an
+// in-memory object store (the paper caches its datasets in storage-node
+// RAM), a near-storage executor that runs preprocessing prefixes under a
+// bounded CPU-core budget, a TCP server speaking the wire protocol, and the
+// matching compute-node client.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/dataset"
+)
+
+// Store is an immutable in-memory object store: sample ID → stored bytes.
+type Store struct {
+	name       string
+	objects    [][]byte
+	totalBytes int64
+}
+
+// ErrNotFound reports a missing object.
+var ErrNotFound = errors.New("storage: object not found")
+
+// NewStore wraps pre-materialized objects. The slice is retained; callers
+// must not mutate it afterwards.
+func NewStore(name string, objects [][]byte) (*Store, error) {
+	if len(objects) == 0 {
+		return nil, errors.New("storage: store needs at least one object")
+	}
+	var total int64
+	for i, o := range objects {
+		if len(o) == 0 {
+			return nil, fmt.Errorf("storage: object %d is empty", i)
+		}
+		total += int64(len(o))
+	}
+	return &Store{name: name, objects: objects, totalBytes: total}, nil
+}
+
+// FromImageSet materializes a synthetic image set into a store — the
+// "dataset cached in memory on the storage node" setup from the paper.
+func FromImageSet(s *dataset.ImageSet) (*Store, error) {
+	blobs, err := s.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	return NewStore(s.Name(), blobs)
+}
+
+// Name returns the dataset name.
+func (s *Store) Name() string { return s.name }
+
+// N returns the number of objects.
+func (s *Store) N() int { return len(s.objects) }
+
+// TotalBytes returns the summed stored size.
+func (s *Store) TotalBytes() int64 { return s.totalBytes }
+
+// Get returns the stored bytes of sample id. The returned slice is shared;
+// callers must not mutate it.
+func (s *Store) Get(id uint32) ([]byte, error) {
+	if int(id) >= len(s.objects) {
+		return nil, fmt.Errorf("%w: sample %d of %d", ErrNotFound, id, len(s.objects))
+	}
+	return s.objects[id], nil
+}
+
+// Counters aggregates server-side accounting shared by the executor and the
+// connection handlers.
+type Counters struct {
+	SamplesServed atomic.Uint64
+	OpsExecuted   atomic.Uint64
+	BytesSent     atomic.Uint64
+	CPUNanos      atomic.Uint64
+}

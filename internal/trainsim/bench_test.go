@@ -1,0 +1,45 @@
+package trainsim
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+)
+
+// BenchmarkLiveEpochNoOffload measures a full live epoch (fetch over the
+// in-memory transport, real preprocessing, simulated GPU) per iteration.
+func BenchmarkLiveEpochNoOffload(b *testing.B) {
+	h := newHarness(b, 16, 0)
+	tr, err := New(h.config())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tr.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.RunEpoch(uint64(i+1), nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLiveEpochOffloaded measures the same epoch with Decode+Crop
+// offloaded for every sample.
+func BenchmarkLiveEpochOffloaded(b *testing.B) {
+	h := newHarness(b, 16, 4)
+	tr, err := New(h.config())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tr.Close()
+	plan, err := policy.NewUniformPlan("resize", 16, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.RunEpoch(uint64(i+1), plan, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package trainsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/netsim"
+	"repro/internal/storage"
+)
+
+// Compile-time checks: every composition satisfies StorageClient.
+var (
+	_ StorageClient = (*storage.Client)(nil)
+	_ StorageClient = (*storage.ReconnectingClient)(nil)
+	_ StorageClient = (*cache.FetchingCache)(nil)
+)
+
+// TestTrainerWithReconnectingClientSurvivesFlakyLinks runs a full epoch
+// where every connection dies after a byte budget; the reconnecting client
+// must transparently redial and the epoch complete.
+func TestTrainerWithReconnectingClientSurvivesFlakyLinks(t *testing.T) {
+	h := newHarness(t, 16, 2)
+	cfg := h.config()
+	cfg.DialClient = func() (StorageClient, error) {
+		dial := func() (*storage.Client, error) {
+			conn, err := h.listener.Dial()
+			if err != nil {
+				return nil, err
+			}
+			// Each connection survives ~6 sample transfers (64² crops run
+			// ~12 KB each plus raws), then fails.
+			return storage.NewClient(netsim.Flaky(conn, 150<<10), 7)
+		}
+		return storage.NewReconnecting(dial, 8, time.Millisecond, nil)
+	}
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	rep, err := tr.RunEpoch(1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Samples != 16 {
+		t.Fatalf("trained %d samples over flaky links", rep.Samples)
+	}
+}
+
+// TestTrainerWithCachingClient runs two epochs with a local cache: the
+// second epoch's raw fetches all hit locally, cutting traffic to ~zero.
+func TestTrainerWithCachingClient(t *testing.T) {
+	h := newHarness(t, 12, 0)
+	inner, err := cache.NewNoEvict(64 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := h.config()
+	cfg.DialClient = func() (StorageClient, error) {
+		conn, err := h.listener.Dial()
+		if err != nil {
+			return nil, err
+		}
+		c, err := storage.NewClient(conn, 7)
+		if err != nil {
+			return nil, err
+		}
+		return cache.NewFetchingCache(c, inner), nil
+	}
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	first, err := tr.RunEpoch(1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := tr.RunEpoch(2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.BytesFetched == 0 {
+		t.Fatal("first epoch fetched nothing")
+	}
+	if second.BytesFetched != 0 {
+		t.Fatalf("second epoch fetched %d bytes despite a warm cache", second.BytesFetched)
+	}
+	if inner.Stats().HitRate() <= 0 {
+		t.Fatal("cache recorded no hits")
+	}
+}
+
+// TestTrainerCachingWithBatchedFetches combines the cache wrapper with
+// batched fetches.
+func TestTrainerCachingWithBatchedFetches(t *testing.T) {
+	h := newHarness(t, 12, 0)
+	inner, err := cache.NewNoEvict(64 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := h.config()
+	cfg.FetchBatchSize = 4
+	cfg.DialClient = func() (StorageClient, error) {
+		conn, err := h.listener.Dial()
+		if err != nil {
+			return nil, err
+		}
+		c, err := storage.NewClient(conn, 7)
+		if err != nil {
+			return nil, err
+		}
+		return cache.NewFetchingCache(c, inner), nil
+	}
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if _, err := tr.RunEpoch(1, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	second, err := tr.RunEpoch(2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.BytesFetched != 0 {
+		t.Fatalf("warm batched epoch fetched %d bytes", second.BytesFetched)
+	}
+}

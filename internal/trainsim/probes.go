@@ -1,0 +1,76 @@
+package trainsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/imaging"
+	"repro/internal/pipeline"
+	"repro/internal/profiler"
+)
+
+// decodedDims reads the stored image's dimensions from its SJPG header
+// without a full decode.
+func decodedDims(raw []byte) (int, int, error) {
+	w, h, err := imaging.DecodeDims(raw)
+	if err != nil {
+		return 0, 0, fmt.Errorf("trainsim: decode dims: %w", err)
+	}
+	return w, h, nil
+}
+
+// Stage1Probes builds the profiler's three throughput probes on top of this
+// trainer, matching the paper's measurement settings: (1) GPU-only steps on
+// synthetic batches, (2) raw fetches with no processing, (3) preprocessing
+// of data cached during the I/O probe.
+func (t *Trainer) Stage1Probes() profiler.Probes {
+	clock := t.cfg.Clock
+	batch := t.cfg.BatchSize
+
+	gpuProbe := func(batches int) (int, time.Duration, error) {
+		start := clock.Now()
+		for b := 0; b < batches; b++ {
+			clock.Sleep(t.cfg.GPU.BatchTime(batch))
+		}
+		return batches * batch, clock.Now().Sub(start), nil
+	}
+
+	var cached [][]byte
+	ioProbe := func(batches int) (int, time.Duration, error) {
+		client := t.clients[0]
+		total := batches * batch
+		start := clock.Now()
+		for k := 0; k < total; k++ {
+			id := uint32(k % t.n)
+			res, err := client.Fetch(id, 0, 0)
+			if err != nil {
+				return 0, 0, fmt.Errorf("io probe fetch %d: %w", id, err)
+			}
+			if res.Artifact.Kind != pipeline.KindRaw {
+				return 0, 0, fmt.Errorf("io probe got %s artifact", res.Artifact.Kind)
+			}
+			if len(cached) < batch {
+				cached = append(cached, res.Artifact.Raw)
+			}
+		}
+		return total, clock.Now().Sub(start), nil
+	}
+
+	cpuProbe := func(batches int) (int, time.Duration, error) {
+		if len(cached) == 0 {
+			return 0, 0, fmt.Errorf("cpu probe needs the io probe to run first")
+		}
+		total := batches * batch
+		start := clock.Now()
+		for k := 0; k < total; k++ {
+			raw := cached[k%len(cached)]
+			seed := pipeline.Seed{Job: t.cfg.JobID, Epoch: 0, Sample: uint64(k)}
+			if _, err := t.cfg.Pipeline.Run(raw, seed); err != nil {
+				return 0, 0, fmt.Errorf("cpu probe sample %d: %w", k, err)
+			}
+		}
+		return total, clock.Now().Sub(start), nil
+	}
+
+	return profiler.Probes{GPU: gpuProbe, IO: ioProbe, CPU: cpuProbe}
+}

@@ -1,0 +1,138 @@
+package wire
+
+import "encoding/binary"
+
+// Batched fetch: one round trip for many samples. The paper's loader issues
+// per-sample requests; batching amortizes framing and kernel crossings when
+// the link is fast and the per-request overhead starts to matter.
+
+// Additional message types (continuing the MsgType space).
+const (
+	TypeFetchBatch MsgType = iota + 8
+	TypeFetchBatchResp
+)
+
+// FetchBatchItem is one sample request within a batch.
+type FetchBatchItem struct {
+	Sample uint32
+	Split  uint8
+}
+
+// FetchBatch requests several samples in one frame, all for the same epoch.
+type FetchBatch struct {
+	RequestID uint64
+	Epoch     uint64
+	Items     []FetchBatchItem
+}
+
+// FetchBatchRespItem is one sample's outcome within a batch response.
+type FetchBatchRespItem struct {
+	Sample   uint32
+	Split    uint8
+	Status   FetchStatus
+	Artifact []byte
+}
+
+// FetchBatchResp answers a FetchBatch, item for item, in request order.
+type FetchBatchResp struct {
+	RequestID uint64
+	Items     []FetchBatchRespItem
+}
+
+// MaxBatchItems bounds a batch so a response cannot exceed MaxFrameSize
+// even when every item is a full tensor artifact.
+const MaxBatchItems = 64
+
+func (*FetchBatch) Type() MsgType     { return TypeFetchBatch }
+func (*FetchBatchResp) Type() MsgType { return TypeFetchBatchResp }
+
+func (m *FetchBatch) encodePayload() []byte {
+	p := make([]byte, 8+8+2+5*len(m.Items))
+	binary.BigEndian.PutUint64(p[0:8], m.RequestID)
+	binary.BigEndian.PutUint64(p[8:16], m.Epoch)
+	binary.BigEndian.PutUint16(p[16:18], uint16(len(m.Items)))
+	off := 18
+	for _, it := range m.Items {
+		binary.BigEndian.PutUint32(p[off:off+4], it.Sample)
+		p[off+4] = it.Split
+		off += 5
+	}
+	return p
+}
+
+func (m *FetchBatch) decodePayload(p []byte) error {
+	if len(p) < 18 {
+		return ErrTruncated
+	}
+	m.RequestID = binary.BigEndian.Uint64(p[0:8])
+	m.Epoch = binary.BigEndian.Uint64(p[8:16])
+	n := int(binary.BigEndian.Uint16(p[16:18]))
+	if n > MaxBatchItems {
+		return ErrFrameTooBig
+	}
+	if len(p) != 18+5*n {
+		return ErrTruncated
+	}
+	m.Items = make([]FetchBatchItem, n)
+	off := 18
+	for i := range m.Items {
+		m.Items[i].Sample = binary.BigEndian.Uint32(p[off : off+4])
+		m.Items[i].Split = p[off+4]
+		off += 5
+	}
+	return nil
+}
+
+func (m *FetchBatchResp) encodePayload() []byte {
+	size := 8 + 2
+	for _, it := range m.Items {
+		size += 4 + 1 + 1 + 4 + len(it.Artifact)
+	}
+	p := make([]byte, size)
+	binary.BigEndian.PutUint64(p[0:8], m.RequestID)
+	binary.BigEndian.PutUint16(p[8:10], uint16(len(m.Items)))
+	off := 10
+	for _, it := range m.Items {
+		binary.BigEndian.PutUint32(p[off:off+4], it.Sample)
+		p[off+4] = it.Split
+		p[off+5] = uint8(it.Status)
+		binary.BigEndian.PutUint32(p[off+6:off+10], uint32(len(it.Artifact)))
+		copy(p[off+10:], it.Artifact)
+		off += 10 + len(it.Artifact)
+	}
+	return p
+}
+
+func (m *FetchBatchResp) decodePayload(p []byte) error {
+	if len(p) < 10 {
+		return ErrTruncated
+	}
+	m.RequestID = binary.BigEndian.Uint64(p[0:8])
+	n := int(binary.BigEndian.Uint16(p[8:10]))
+	if n > MaxBatchItems {
+		return ErrFrameTooBig
+	}
+	m.Items = make([]FetchBatchRespItem, 0, n)
+	off := 10
+	for i := 0; i < n; i++ {
+		if len(p) < off+10 {
+			return ErrTruncated
+		}
+		it := FetchBatchRespItem{
+			Sample: binary.BigEndian.Uint32(p[off : off+4]),
+			Split:  p[off+4],
+			Status: FetchStatus(p[off+5]),
+		}
+		alen := int(binary.BigEndian.Uint32(p[off+6 : off+10]))
+		if len(p) < off+10+alen {
+			return ErrTruncated
+		}
+		it.Artifact = append([]byte(nil), p[off+10:off+10+alen]...)
+		m.Items = append(m.Items, it)
+		off += 10 + alen
+	}
+	if off != len(p) {
+		return ErrTruncated
+	}
+	return nil
+}

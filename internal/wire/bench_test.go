@@ -1,0 +1,35 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func BenchmarkWriteFetch(b *testing.B) {
+	var buf bytes.Buffer
+	m := &Fetch{RequestID: 1, Sample: 2, Split: 3, Epoch: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := Write(&buf, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRoundTripFetchResp600KB(b *testing.B) {
+	artifact := make([]byte, 602134) // a 224² tensor artifact
+	m := &FetchResp{RequestID: 1, Sample: 2, Artifact: artifact}
+	b.SetBytes(int64(len(artifact)))
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := Write(&buf, m); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Read(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

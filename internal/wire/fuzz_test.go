@@ -1,0 +1,46 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead throws arbitrary bytes at the frame parser: it must never panic,
+// and any frame it accepts must re-encode to the same bytes.
+func FuzzRead(f *testing.F) {
+	seed := func(m Message) {
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err == nil {
+			f.Add(buf.Bytes())
+		}
+	}
+	seed(&Hello{Version: 1, JobID: 7})
+	seed(&HelloAck{Version: 1, DatasetName: "openimages", NumSamples: 40000})
+	seed(&Fetch{RequestID: 1, Sample: 2, Split: 3, Epoch: 4})
+	seed(&FetchResp{RequestID: 1, Sample: 2, Status: FetchOK, Artifact: []byte{1, 2, 3}})
+	seed(&StatsReq{})
+	seed(&StatsResp{SamplesServed: 10, BytesSent: 20})
+	seed(&ErrorResp{Code: CodeBadRequest, Message: "no"})
+	seed(&FetchBatch{RequestID: 1, Epoch: 2, Items: []FetchBatchItem{{Sample: 1, Split: 2}}})
+	seed(&FetchBatchResp{RequestID: 1, Items: []FetchBatchRespItem{{Sample: 1, Artifact: []byte{9}}}})
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, msg); err != nil {
+			t.Fatalf("accepted message failed to re-encode: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded message failed to parse: %v", err)
+		}
+		if again.Type() != msg.Type() {
+			t.Fatalf("type changed across round trip: %s -> %s", msg.Type(), again.Type())
+		}
+	})
+}

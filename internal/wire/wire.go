@@ -1,0 +1,367 @@
+// Package wire defines the binary protocol between the compute-node client
+// and the storage server (the paper used gRPC; this is a dependency-free
+// framed equivalent). Each frame is: 4-byte magic, 1-byte message type,
+// 1-byte reserved flags, 4-byte big-endian payload length, payload. A Fetch
+// carries the offload directive — the number of pipeline ops the server
+// should execute before replying — plus the epoch so the server derives the
+// exact augmentation seeds the client would have used locally.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Protocol constants.
+const (
+	Magic        = 0x534F5048 // "SOPH"
+	Version      = 1
+	frameHeader  = 10
+	MaxFrameSize = 64 << 20 // generous bound: a 224² tensor is ~600 KB
+)
+
+// MsgType identifies a frame's payload structure.
+type MsgType uint8
+
+// Message types.
+const (
+	TypeHello MsgType = iota + 1
+	TypeHelloAck
+	TypeFetch
+	TypeFetchResp
+	TypeStatsReq
+	TypeStatsResp
+	TypeError
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case TypeHello:
+		return "Hello"
+	case TypeHelloAck:
+		return "HelloAck"
+	case TypeFetch:
+		return "Fetch"
+	case TypeFetchResp:
+		return "FetchResp"
+	case TypeStatsReq:
+		return "StatsReq"
+	case TypeStatsResp:
+		return "StatsResp"
+	case TypeError:
+		return "Error"
+	case TypeFetchBatch:
+		return "FetchBatch"
+	case TypeFetchBatchResp:
+		return "FetchBatchResp"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// Protocol errors.
+var (
+	ErrBadMagic    = errors.New("wire: bad magic")
+	ErrFrameTooBig = errors.New("wire: frame exceeds MaxFrameSize")
+	ErrTruncated   = errors.New("wire: truncated payload")
+	ErrUnknownType = errors.New("wire: unknown message type")
+)
+
+// Message is any protocol message.
+type Message interface {
+	Type() MsgType
+	encodePayload() []byte
+	decodePayload(p []byte) error
+}
+
+// Hello opens a session.
+type Hello struct {
+	Version uint16
+	JobID   uint64
+}
+
+// HelloAck answers a Hello with dataset facts.
+type HelloAck struct {
+	Version     uint16
+	DatasetName string
+	NumSamples  uint32
+}
+
+// Fetch requests one sample, asking the server to execute the first Split
+// pipeline ops before transmitting (Split 0 ships the raw object).
+type Fetch struct {
+	RequestID uint64
+	Sample    uint32
+	Split     uint8
+	Epoch     uint64
+}
+
+// FetchStatus reports the outcome of a Fetch.
+type FetchStatus uint8
+
+// Fetch outcomes.
+const (
+	FetchOK FetchStatus = iota
+	FetchNotFound
+	FetchBadSplit
+	FetchFailed
+)
+
+// FetchResp returns the (possibly partially preprocessed) artifact.
+type FetchResp struct {
+	RequestID uint64
+	Sample    uint32
+	Split     uint8
+	Status    FetchStatus
+	Artifact  []byte
+}
+
+// StatsReq asks the server for its counters.
+type StatsReq struct{}
+
+// StatsResp reports server-side accounting.
+type StatsResp struct {
+	SamplesServed  uint64
+	OpsExecuted    uint64
+	BytesSent      uint64
+	ServerCPUNanos uint64
+}
+
+// ErrCode classifies server errors.
+type ErrCode uint16
+
+// Error codes.
+const (
+	CodeBadRequest ErrCode = iota + 1
+	CodeInternal
+)
+
+// ErrorResp reports a protocol-level failure.
+type ErrorResp struct {
+	Code    ErrCode
+	Message string
+}
+
+func (*Hello) Type() MsgType     { return TypeHello }
+func (*HelloAck) Type() MsgType  { return TypeHelloAck }
+func (*Fetch) Type() MsgType     { return TypeFetch }
+func (*FetchResp) Type() MsgType { return TypeFetchResp }
+func (*StatsReq) Type() MsgType  { return TypeStatsReq }
+func (*StatsResp) Type() MsgType { return TypeStatsResp }
+func (*ErrorResp) Type() MsgType { return TypeError }
+
+func (m *Hello) encodePayload() []byte {
+	p := make([]byte, 10)
+	binary.BigEndian.PutUint16(p[0:2], m.Version)
+	binary.BigEndian.PutUint64(p[2:10], m.JobID)
+	return p
+}
+
+func (m *Hello) decodePayload(p []byte) error {
+	if len(p) != 10 {
+		return ErrTruncated
+	}
+	m.Version = binary.BigEndian.Uint16(p[0:2])
+	m.JobID = binary.BigEndian.Uint64(p[2:10])
+	return nil
+}
+
+func (m *HelloAck) encodePayload() []byte {
+	name := []byte(m.DatasetName)
+	p := make([]byte, 2+4+2+len(name))
+	binary.BigEndian.PutUint16(p[0:2], m.Version)
+	binary.BigEndian.PutUint32(p[2:6], m.NumSamples)
+	binary.BigEndian.PutUint16(p[6:8], uint16(len(name)))
+	copy(p[8:], name)
+	return p
+}
+
+func (m *HelloAck) decodePayload(p []byte) error {
+	if len(p) < 8 {
+		return ErrTruncated
+	}
+	m.Version = binary.BigEndian.Uint16(p[0:2])
+	m.NumSamples = binary.BigEndian.Uint32(p[2:6])
+	n := int(binary.BigEndian.Uint16(p[6:8]))
+	if len(p) != 8+n {
+		return ErrTruncated
+	}
+	m.DatasetName = string(p[8 : 8+n])
+	return nil
+}
+
+func (m *Fetch) encodePayload() []byte {
+	p := make([]byte, 8+4+1+8)
+	binary.BigEndian.PutUint64(p[0:8], m.RequestID)
+	binary.BigEndian.PutUint32(p[8:12], m.Sample)
+	p[12] = m.Split
+	binary.BigEndian.PutUint64(p[13:21], m.Epoch)
+	return p
+}
+
+func (m *Fetch) decodePayload(p []byte) error {
+	if len(p) != 21 {
+		return ErrTruncated
+	}
+	m.RequestID = binary.BigEndian.Uint64(p[0:8])
+	m.Sample = binary.BigEndian.Uint32(p[8:12])
+	m.Split = p[12]
+	m.Epoch = binary.BigEndian.Uint64(p[13:21])
+	return nil
+}
+
+func (m *FetchResp) encodePayload() []byte {
+	p := make([]byte, 8+4+1+1+4+len(m.Artifact))
+	binary.BigEndian.PutUint64(p[0:8], m.RequestID)
+	binary.BigEndian.PutUint32(p[8:12], m.Sample)
+	p[12] = m.Split
+	p[13] = uint8(m.Status)
+	binary.BigEndian.PutUint32(p[14:18], uint32(len(m.Artifact)))
+	copy(p[18:], m.Artifact)
+	return p
+}
+
+func (m *FetchResp) decodePayload(p []byte) error {
+	if len(p) < 18 {
+		return ErrTruncated
+	}
+	m.RequestID = binary.BigEndian.Uint64(p[0:8])
+	m.Sample = binary.BigEndian.Uint32(p[8:12])
+	m.Split = p[12]
+	m.Status = FetchStatus(p[13])
+	n := int(binary.BigEndian.Uint32(p[14:18]))
+	if len(p) != 18+n {
+		return ErrTruncated
+	}
+	m.Artifact = append([]byte(nil), p[18:18+n]...)
+	return nil
+}
+
+func (*StatsReq) encodePayload() []byte { return nil }
+func (*StatsReq) decodePayload(p []byte) error {
+	if len(p) != 0 {
+		return ErrTruncated
+	}
+	return nil
+}
+
+func (m *StatsResp) encodePayload() []byte {
+	p := make([]byte, 32)
+	binary.BigEndian.PutUint64(p[0:8], m.SamplesServed)
+	binary.BigEndian.PutUint64(p[8:16], m.OpsExecuted)
+	binary.BigEndian.PutUint64(p[16:24], m.BytesSent)
+	binary.BigEndian.PutUint64(p[24:32], m.ServerCPUNanos)
+	return p
+}
+
+func (m *StatsResp) decodePayload(p []byte) error {
+	if len(p) != 32 {
+		return ErrTruncated
+	}
+	m.SamplesServed = binary.BigEndian.Uint64(p[0:8])
+	m.OpsExecuted = binary.BigEndian.Uint64(p[8:16])
+	m.BytesSent = binary.BigEndian.Uint64(p[16:24])
+	m.ServerCPUNanos = binary.BigEndian.Uint64(p[24:32])
+	return nil
+}
+
+func (m *ErrorResp) encodePayload() []byte {
+	msg := []byte(m.Message)
+	p := make([]byte, 2+2+len(msg))
+	binary.BigEndian.PutUint16(p[0:2], uint16(m.Code))
+	binary.BigEndian.PutUint16(p[2:4], uint16(len(msg)))
+	copy(p[4:], msg)
+	return p
+}
+
+func (m *ErrorResp) decodePayload(p []byte) error {
+	if len(p) < 4 {
+		return ErrTruncated
+	}
+	m.Code = ErrCode(binary.BigEndian.Uint16(p[0:2]))
+	n := int(binary.BigEndian.Uint16(p[2:4]))
+	if len(p) != 4+n {
+		return ErrTruncated
+	}
+	m.Message = string(p[4 : 4+n])
+	return nil
+}
+
+// Write frames and sends one message.
+func Write(w io.Writer, m Message) error {
+	payload := m.encodePayload()
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooBig
+	}
+	hdr := make([]byte, frameHeader)
+	binary.BigEndian.PutUint32(hdr[0:4], Magic)
+	hdr[4] = uint8(m.Type())
+	hdr[5] = 0
+	binary.BigEndian.PutUint32(hdr[6:10], uint32(len(payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return fmt.Errorf("wire: write payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// FrameSize returns the total on-wire bytes of a message — header plus
+// payload — for traffic accounting.
+func FrameSize(m Message) int { return frameHeader + len(m.encodePayload()) }
+
+// Read receives and decodes one message.
+func Read(r io.Reader) (Message, error) {
+	hdr := make([]byte, frameHeader)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	if binary.BigEndian.Uint32(hdr[0:4]) != Magic {
+		return nil, ErrBadMagic
+	}
+	size := binary.BigEndian.Uint32(hdr[6:10])
+	if size > MaxFrameSize {
+		return nil, ErrFrameTooBig
+	}
+	if size > math.MaxInt32 {
+		return nil, ErrFrameTooBig
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wire: read payload: %w", err)
+	}
+	var m Message
+	switch MsgType(hdr[4]) {
+	case TypeHello:
+		m = &Hello{}
+	case TypeHelloAck:
+		m = &HelloAck{}
+	case TypeFetch:
+		m = &Fetch{}
+	case TypeFetchResp:
+		m = &FetchResp{}
+	case TypeStatsReq:
+		m = &StatsReq{}
+	case TypeStatsResp:
+		m = &StatsResp{}
+	case TypeError:
+		m = &ErrorResp{}
+	case TypeFetchBatch:
+		m = &FetchBatch{}
+	case TypeFetchBatchResp:
+		m = &FetchBatchResp{}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, hdr[4])
+	}
+	if err := m.decodePayload(payload); err != nil {
+		return nil, fmt.Errorf("wire: decode %s: %w", MsgType(hdr[4]), err)
+	}
+	return m, nil
+}

@@ -1,0 +1,258 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatalf("Write %T: %v", m, err)
+	}
+	if buf.Len() != FrameSize(m) {
+		t.Fatalf("FrameSize(%T) = %d, wrote %d", m, FrameSize(m), buf.Len())
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read %T: %v", m, err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%T left %d trailing bytes", m, buf.Len())
+	}
+	return got
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	got := roundTrip(t, &Hello{Version: 1, JobID: 0xDEADBEEF}).(*Hello)
+	if got.Version != 1 || got.JobID != 0xDEADBEEF {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestHelloAckRoundTrip(t *testing.T) {
+	got := roundTrip(t, &HelloAck{Version: 1, DatasetName: "openimages-12g", NumSamples: 40000}).(*HelloAck)
+	if got.DatasetName != "openimages-12g" || got.NumSamples != 40000 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestHelloAckEmptyName(t *testing.T) {
+	got := roundTrip(t, &HelloAck{Version: 1}).(*HelloAck)
+	if got.DatasetName != "" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestFetchRoundTrip(t *testing.T) {
+	got := roundTrip(t, &Fetch{RequestID: 7, Sample: 12345, Split: 2, Epoch: 9}).(*Fetch)
+	if got.RequestID != 7 || got.Sample != 12345 || got.Split != 2 || got.Epoch != 9 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestFetchRespRoundTrip(t *testing.T) {
+	art := []byte{1, 2, 3, 4, 5}
+	got := roundTrip(t, &FetchResp{RequestID: 8, Sample: 3, Split: 4, Status: FetchOK, Artifact: art}).(*FetchResp)
+	if !bytes.Equal(got.Artifact, art) || got.Status != FetchOK || got.Split != 4 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestFetchRespEmptyArtifact(t *testing.T) {
+	got := roundTrip(t, &FetchResp{RequestID: 1, Status: FetchNotFound}).(*FetchResp)
+	if len(got.Artifact) != 0 || got.Status != FetchNotFound {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	roundTrip(t, &StatsReq{})
+	got := roundTrip(t, &StatsResp{SamplesServed: 1, OpsExecuted: 2, BytesSent: 3, ServerCPUNanos: 4}).(*StatsResp)
+	if got.SamplesServed != 1 || got.OpsExecuted != 2 || got.BytesSent != 3 || got.ServerCPUNanos != 4 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestErrorRespRoundTrip(t *testing.T) {
+	got := roundTrip(t, &ErrorResp{Code: CodeBadRequest, Message: "nope"}).(*ErrorResp)
+	if got.Code != CodeBadRequest || got.Message != "nope" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestSequentialMessagesOnOneStream(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		&Hello{Version: 1, JobID: 2},
+		&Fetch{RequestID: 1, Sample: 2, Split: 3, Epoch: 4},
+		&StatsReq{},
+	}
+	for _, m := range msgs {
+		if err := Write(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if got.Type() != want.Type() {
+			t.Fatalf("message %d type %s, want %s", i, got.Type(), want.Type())
+		}
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	var buf bytes.Buffer
+	Write(&buf, &StatsReq{})
+	b := buf.Bytes()
+	b[0] = 'X'
+	if _, err := Read(bytes.NewReader(b)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadRejectsUnknownType(t *testing.T) {
+	var buf bytes.Buffer
+	Write(&buf, &StatsReq{})
+	b := buf.Bytes()
+	b[4] = 200
+	if _, err := Read(bytes.NewReader(b)); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadRejectsOversizedFrame(t *testing.T) {
+	b := make([]byte, 10)
+	binary.BigEndian.PutUint32(b[0:4], Magic)
+	b[4] = uint8(TypeFetch)
+	binary.BigEndian.PutUint32(b[6:10], MaxFrameSize+1)
+	if _, err := Read(bytes.NewReader(b)); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadTruncatedHeaderAndPayload(t *testing.T) {
+	var buf bytes.Buffer
+	Write(&buf, &Fetch{RequestID: 1})
+	full := buf.Bytes()
+	if _, err := Read(bytes.NewReader(full[:5])); err == nil {
+		t.Fatal("accepted truncated header")
+	}
+	if _, err := Read(bytes.NewReader(full[:len(full)-2])); err == nil {
+		t.Fatal("accepted truncated payload")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("empty stream err = %v, want EOF", err)
+	}
+}
+
+func TestDecodeRejectsWrongPayloadSizes(t *testing.T) {
+	// Craft frames whose declared type disagrees with payload length.
+	mk := func(mt MsgType, payload []byte) []byte {
+		b := make([]byte, 10+len(payload))
+		binary.BigEndian.PutUint32(b[0:4], Magic)
+		b[4] = uint8(mt)
+		binary.BigEndian.PutUint32(b[6:10], uint32(len(payload)))
+		copy(b[10:], payload)
+		return b
+	}
+	cases := map[string][]byte{
+		"hello short":     mk(TypeHello, make([]byte, 3)),
+		"fetch long":      mk(TypeFetch, make([]byte, 30)),
+		"stats wrong":     mk(TypeStatsResp, make([]byte, 31)),
+		"statsreq extra":  mk(TypeStatsReq, make([]byte, 1)),
+		"helloack short":  mk(TypeHelloAck, make([]byte, 4)),
+		"error short":     mk(TypeError, make([]byte, 2)),
+		"fetchresp short": mk(TypeFetchResp, make([]byte, 10)),
+		"helloack bad len": mk(TypeHelloAck, func() []byte {
+			p := make([]byte, 9)
+			binary.BigEndian.PutUint16(p[6:8], 100) // claims 100-byte name
+			return p
+		}()),
+		"fetchresp bad len": mk(TypeFetchResp, func() []byte {
+			p := make([]byte, 19)
+			binary.BigEndian.PutUint32(p[14:18], 999)
+			return p
+		}()),
+	}
+	for name, frame := range cases {
+		if _, err := Read(bytes.NewReader(frame)); err == nil {
+			t.Errorf("Read accepted %s", name)
+		}
+	}
+}
+
+func TestFetchRespArtifactIsCopied(t *testing.T) {
+	var buf bytes.Buffer
+	Write(&buf, &FetchResp{RequestID: 1, Artifact: []byte{1, 2, 3}})
+	raw := buf.Bytes()
+	got, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := got.(*FetchResp)
+	raw[len(raw)-1] = 99 // mutate the backing buffer
+	if resp.Artifact[2] != 3 {
+		t.Fatal("decoded artifact aliases the read buffer")
+	}
+}
+
+// Property: every Fetch round-trips exactly.
+func TestFetchRoundTripProperty(t *testing.T) {
+	f := func(req uint64, sample uint32, split uint8, epoch uint64) bool {
+		var buf bytes.Buffer
+		in := &Fetch{RequestID: req, Sample: sample, Split: split, Epoch: epoch}
+		if err := Write(&buf, in); err != nil {
+			return false
+		}
+		out, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		got, ok := out.(*Fetch)
+		return ok && *got == *in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FetchResp round-trips arbitrary artifact bytes.
+func TestFetchRespRoundTripProperty(t *testing.T) {
+	f := func(req uint64, sample uint32, status uint8, artifact []byte) bool {
+		var buf bytes.Buffer
+		in := &FetchResp{RequestID: req, Sample: sample, Status: FetchStatus(status % 4), Artifact: artifact}
+		if err := Write(&buf, in); err != nil {
+			return false
+		}
+		out, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		got, ok := out.(*FetchResp)
+		return ok && got.RequestID == req && got.Sample == sample && bytes.Equal(got.Artifact, artifact)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	for mt, want := range map[MsgType]string{
+		TypeHello: "Hello", TypeHelloAck: "HelloAck", TypeFetch: "Fetch",
+		TypeFetchResp: "FetchResp", TypeStatsReq: "StatsReq",
+		TypeStatsResp: "StatsResp", TypeError: "Error", MsgType(99): "MsgType(99)",
+	} {
+		if mt.String() != want {
+			t.Errorf("MsgType(%d).String() = %q", mt, mt.String())
+		}
+	}
+}
