@@ -39,6 +39,7 @@ func main() {
 	mbps := flag.Float64("mbps", 0, "cap outbound bandwidth (Mbit/s; 0 = unshaped)")
 	httpAddr := flag.String("http", "", "serve /healthz, /stats, /metrics on this address (empty = disabled)")
 	idle := flag.Duration("idle-timeout", 0, "drop connections idle for this long (0 = never)")
+	maxInFlight := flag.Int("max-inflight", 0, "max concurrently handled requests per connection (0 = default 32)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "sophon-server: ", log.LstdFlags)
@@ -79,6 +80,7 @@ func main() {
 		Cores:       *cores,
 		Slowdown:    *slowdown,
 		IdleTimeout: *idle,
+		MaxInFlight: *maxInFlight,
 		Logger:      logger,
 	})
 	if err != nil {

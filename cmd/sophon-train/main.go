@@ -61,6 +61,9 @@ func main() {
 	planFile := flag.String("plan-file", "", "load a precomputed plan and skip profiling")
 	dumpTrace := flag.String("dump-trace", "", "write the measured stage-2 trace to this file")
 	fetchBatch := flag.Int("fetch-batch", 0, "samples per storage round trip (0 = one)")
+	prefetch := flag.Int("prefetch", 0, "in-flight fetch requests on the session (0 = 2x workers)")
+	maxInFlight := flag.Int("max-inflight", 0, "max concurrent requests the session admits (0 = default 64)")
+	reqTimeout := flag.Duration("request-timeout", 0, "per-request timeout (0 = default 30s, negative = none)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "sophon-train: ", log.LstdFlags)
@@ -75,7 +78,13 @@ func main() {
 	}
 
 	trainer, err := trainsim.New(trainsim.Config{
-		DialClient:     func() (trainsim.StorageClient, error) { return storage.Dial(*addr, *jobID) },
+		DialClient: func() (trainsim.StorageClient, error) {
+			return storage.DialWithOptions(*addr, storage.ClientOptions{
+				JobID:          *jobID,
+				RequestTimeout: *reqTimeout,
+				MaxInFlight:    *maxInFlight,
+			})
+		},
 		Workers:        *workers,
 		ComputeCores:   *computeCores,
 		Pipeline:       pipeline.Standard(pipeline.StandardOptions{CropSize: *crop, FlipP: -1}),
@@ -84,6 +93,7 @@ func main() {
 		JobID:          *jobID,
 		Shuffle:        true,
 		FetchBatchSize: *fetchBatch,
+		PrefetchWindow: *prefetch,
 	})
 	if err != nil {
 		logger.Fatal(err)

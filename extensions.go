@@ -126,6 +126,20 @@ func NewCachingFetcher(client *storage.Client, c Cache) *cache.FetchingCache {
 	return cache.NewFetchingCache(client, c)
 }
 
+// Direct access to the multiplexed transport for callers composing their
+// own stacks on top of a cluster.
+
+// StorageClientOptions configures a pipelined storage session: job ID,
+// per-request timeout, and the in-flight request cap.
+type StorageClientOptions = storage.ClientOptions
+
+// DialStorage opens a multiplexed storage session with explicit options.
+// All requests on the returned client pipeline over one connection and
+// responses are demultiplexed by request ID.
+func DialStorage(addr string, opts StorageClientOptions) (*storage.Client, error) {
+	return storage.DialWithOptions(addr, opts)
+}
+
 // ApplyCacheToTrace folds a steady-state local cache of capacityBytes into
 // a trace copy; plans computed over the result automatically compose
 // SOPHON with caching.

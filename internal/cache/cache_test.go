@@ -2,6 +2,7 @@ package cache
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -251,14 +252,14 @@ func TestFetchingCacheLive(t *testing.T) {
 
 	// First raw fetch misses and populates; second hits with zero wire
 	// bytes and identical content.
-	first, err := fc.Fetch(0, 0, 1)
+	first, err := fc.Fetch(context.Background(), 0, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if first.WireBytes == 0 {
 		t.Fatal("first fetch reported zero wire bytes")
 	}
-	second, err := fc.Fetch(0, 0, 2)
+	second, err := fc.Fetch(context.Background(), 0, 0, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +271,7 @@ func TestFetchingCacheLive(t *testing.T) {
 	}
 
 	// Offloaded fetches bypass the cache.
-	off, err := fc.Fetch(0, 2, 3)
+	off, err := fc.Fetch(context.Background(), 0, 2, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

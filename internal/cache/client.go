@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dataset"
@@ -26,17 +27,18 @@ func NewFetchingCache(client *storage.Client, c Cache) *FetchingCache {
 // Fetch returns the sample's artifact. Raw fetches that hit the cache cost
 // zero wire bytes; raw misses populate the cache. Offloaded fetches bypass
 // the cache entirely.
-func (f *FetchingCache) Fetch(sample uint32, split int, epoch uint64) (storage.FetchResult, error) {
+func (f *FetchingCache) Fetch(ctx context.Context, sample uint32, split int, epoch uint64) (storage.FetchResult, error) {
 	if split == 0 {
 		if data, ok := f.cache.Get(sample); ok {
 			return storage.FetchResult{
+				Sample:    sample,
 				Artifact:  pipeline.RawArtifact(data),
 				Split:     0,
 				WireBytes: 0,
 			}, nil
 		}
 	}
-	res, err := f.client.Fetch(sample, split, epoch)
+	res, err := f.client.Fetch(ctx, sample, split, epoch)
 	if err != nil {
 		return storage.FetchResult{}, err
 	}
@@ -48,7 +50,9 @@ func (f *FetchingCache) Fetch(sample uint32, split int, epoch uint64) (storage.F
 
 // FetchBatch serves cache hits locally and forwards the misses to the
 // server in a single batched round trip, preserving request order.
-func (f *FetchingCache) FetchBatch(samples []uint32, splits []int, epoch uint64) ([]storage.FetchResult, error) {
+// Per-item failures from the server scatter through to the matching
+// FetchResult.Err; only successfully fetched raw items populate the cache.
+func (f *FetchingCache) FetchBatch(ctx context.Context, samples []uint32, splits []int, epoch uint64) ([]storage.FetchResult, error) {
 	if len(samples) != len(splits) {
 		return nil, fmt.Errorf("cache: %d samples but %d splits", len(samples), len(splits))
 	}
@@ -59,7 +63,7 @@ func (f *FetchingCache) FetchBatch(samples []uint32, splits []int, epoch uint64)
 	for i := range samples {
 		if splits[i] == 0 {
 			if data, ok := f.cache.Get(samples[i]); ok {
-				out[i] = storage.FetchResult{Artifact: pipeline.RawArtifact(data)}
+				out[i] = storage.FetchResult{Sample: samples[i], Artifact: pipeline.RawArtifact(data)}
 				continue
 			}
 		}
@@ -68,14 +72,14 @@ func (f *FetchingCache) FetchBatch(samples []uint32, splits []int, epoch uint64)
 		missIdx = append(missIdx, i)
 	}
 	if len(missSamples) > 0 {
-		fetched, err := f.client.FetchBatch(missSamples, missSplits, epoch)
+		fetched, err := f.client.FetchBatch(ctx, missSamples, missSplits, epoch)
 		if err != nil {
 			return nil, err
 		}
 		for k, res := range fetched {
 			i := missIdx[k]
 			out[i] = res
-			if missSplits[k] == 0 && res.Artifact.Kind == pipeline.KindRaw {
+			if res.Err == nil && missSplits[k] == 0 && res.Artifact.Kind == pipeline.KindRaw {
 				f.cache.Put(missSamples[k], res.Artifact.Raw)
 			}
 		}

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -21,7 +22,7 @@ func TestFetchBatchMatchesSingleFetches(t *testing.T) {
 	samples := []uint32{0, 1, 2, 3}
 	splits := []int{0, 1, 2, 5}
 	const epoch = 4
-	batch, err := c.FetchBatch(samples, splits, epoch)
+	batch, err := c.FetchBatch(context.Background(), samples, splits, epoch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +30,7 @@ func TestFetchBatchMatchesSingleFetches(t *testing.T) {
 		t.Fatalf("batch returned %d results", len(batch))
 	}
 	for i := range samples {
-		single, err := c.Fetch(samples[i], splits[i], epoch)
+		single, err := c.Fetch(context.Background(), samples[i], splits[i], epoch)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -46,7 +47,7 @@ func TestFetchBatchWireAccounting(t *testing.T) {
 	st := testStore(t, 3)
 	_, dial := startServer(t, ServerConfig{Store: st, Pipeline: pipeline.DefaultStandard(), Cores: 1})
 	c := dial()
-	batch, err := c.FetchBatch([]uint32{0, 1, 2}, []int{0, 0, 0}, 1)
+	batch, err := c.FetchBatch(context.Background(), []uint32{0, 1, 2}, []int{0, 0, 0}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestFetchBatchWireAccounting(t *testing.T) {
 	// three individual response frames would be.
 	var singles int
 	for i := uint32(0); i < 3; i++ {
-		r, err := c.Fetch(i, 0, 1)
+		r, err := c.Fetch(context.Background(), i, 0, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,28 +78,41 @@ func TestFetchBatchValidation(t *testing.T) {
 	_, dial := startServer(t, ServerConfig{Store: st, Pipeline: pipeline.DefaultStandard(), Cores: 1})
 	c := dial()
 
-	if _, err := c.FetchBatch(nil, nil, 1); err == nil {
+	if _, err := c.FetchBatch(context.Background(), nil, nil, 1); err == nil {
 		t.Fatal("accepted empty batch")
 	}
-	if _, err := c.FetchBatch([]uint32{0}, []int{0, 1}, 1); err == nil {
+	if _, err := c.FetchBatch(context.Background(), []uint32{0}, []int{0, 1}, 1); err == nil {
 		t.Fatal("accepted mismatched splits")
 	}
-	if _, err := c.FetchBatch([]uint32{0}, []int{999}, 1); err == nil {
+	if _, err := c.FetchBatch(context.Background(), []uint32{0}, []int{999}, 1); err == nil {
 		t.Fatal("accepted out-of-range split")
 	}
 	big := make([]uint32, wire.MaxBatchItems+1)
 	bigSplits := make([]int, len(big))
-	if _, err := c.FetchBatch(big, bigSplits, 1); err == nil {
+	if _, err := c.FetchBatch(context.Background(), big, bigSplits, 1); err == nil {
 		t.Fatal("accepted oversized batch")
 	}
-	if _, err := c.FetchBatch([]uint32{0, 99}, []int{0, 0}, 1); !errors.Is(err, ErrSampleMissing) {
-		t.Fatalf("missing sample err = %v", err)
+	// Per-item failures do not fail the call: the healthy item comes back
+	// and the broken one carries its error in FetchResult.Err.
+	res, err := c.FetchBatch(context.Background(), []uint32{0, 99}, []int{0, 0}, 1)
+	if err != nil {
+		t.Fatalf("batch with missing sample failed whole call: %v", err)
 	}
-	if _, err := c.FetchBatch([]uint32{0}, []int{6}, 1); !errors.Is(err, ErrBadSplitReq) {
-		t.Fatalf("bad split err = %v", err)
+	if res[0].Err != nil {
+		t.Fatalf("healthy item err = %v", res[0].Err)
+	}
+	if !errors.Is(res[1].Err, ErrSampleMissing) || res[1].Status != wire.FetchNotFound {
+		t.Fatalf("missing item = %+v", res[1])
+	}
+	res, err = c.FetchBatch(context.Background(), []uint32{0}, []int{6}, 1)
+	if err != nil {
+		t.Fatalf("batch with bad split failed whole call: %v", err)
+	}
+	if !errors.Is(res[0].Err, ErrBadSplitReq) {
+		t.Fatalf("bad split item err = %v", res[0].Err)
 	}
 	c.Close()
-	if _, err := c.FetchBatch([]uint32{0}, []int{0}, 1); !errors.Is(err, ErrClientClosed) {
+	if _, err := c.FetchBatch(context.Background(), []uint32{0}, []int{0}, 1); !errors.Is(err, ErrClientClosed) {
 		t.Fatalf("closed client err = %v", err)
 	}
 }
@@ -114,11 +128,11 @@ func TestFetchBatchDeterministicAugmentation(t *testing.T) {
 	a := dial()
 	b := dial()
 
-	batch, err := a.FetchBatch([]uint32{0}, []int{3}, 7)
+	batch, err := a.FetchBatch(context.Background(), []uint32{0}, []int{3}, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
-	single, err := b.Fetch(0, 3, 7)
+	single, err := b.Fetch(context.Background(), 0, 3, 7)
 	if err != nil {
 		t.Fatal(err)
 	}

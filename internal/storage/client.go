@@ -1,26 +1,25 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/pipeline"
 	"repro/internal/wire"
 )
 
-// Client is a compute-node connection to the storage server. A Client is
-// safe for concurrent use; requests on one client serialize, so parallel
-// loaders should each hold their own Client (mirroring one stream per
-// worker).
-type Client struct {
-	mu      sync.Mutex
-	conn    net.Conn
-	nextReq uint64
-	ack     wire.HelloAck
-	closed  bool
-}
+// Client defaults; override via ClientOptions.
+const (
+	// DefaultRequestTimeout bounds a single request round trip so a stalled
+	// server cannot hang a caller forever.
+	DefaultRequestTimeout = 30 * time.Second
+	// DefaultMaxInFlight caps concurrent requests pipelined on one session.
+	DefaultMaxInFlight = 64
+)
 
 // Client-side errors.
 var (
@@ -28,17 +27,70 @@ var (
 	ErrSampleMissing = errors.New("storage: sample not found")
 	ErrBadSplitReq   = errors.New("storage: server rejected split")
 	ErrClientClosed  = errors.New("storage: client closed")
+	// ErrRequestTimeout reports that the per-request deadline elapsed while
+	// the caller's own context was still live. It is retryable: the session
+	// may be poisoned but the request itself is idempotent.
+	ErrRequestTimeout = errors.New("storage: request timed out")
 )
+
+// ClientOptions configures a session; the zero value of each field selects a
+// sane default.
+type ClientOptions struct {
+	// JobID identifies the training job in the handshake.
+	JobID uint64
+	// Version overrides the protocol version sent in Hello (0 → wire.Version).
+	// It exists so version negotiation can be exercised in tests.
+	Version uint16
+	// RequestTimeout bounds each request round trip (0 → DefaultRequestTimeout;
+	// negative → no timeout).
+	RequestTimeout time.Duration
+	// MaxInFlight caps concurrent in-flight requests on the session
+	// (0 → DefaultMaxInFlight).
+	MaxInFlight int
+}
+
+// Client is a compute-node session to the storage server. One Client
+// multiplexes many concurrent requests over a single connection: a writer
+// goroutine serializes outgoing frames, a reader goroutine demultiplexes
+// responses to waiting callers by RequestID, so responses may interleave in
+// any order. All methods are safe for concurrent use.
+type Client struct {
+	conn    net.Conn
+	ack     wire.HelloAck
+	timeout time.Duration
+
+	writeCh  chan wire.Message
+	inflight chan struct{} // semaphore: MaxInFlight slots
+
+	mu      sync.Mutex
+	nextReq uint64
+	pending map[uint64]chan wire.Message
+	err     error // first session-fatal error
+	closed  bool
+
+	done      chan struct{}
+	closeOnce sync.Once
+}
 
 // NewClient performs the handshake over an established connection.
 func NewClient(conn net.Conn, jobID uint64) (*Client, error) {
-	return NewClientWithVersion(conn, jobID, wire.Version)
+	return NewClientWithOptions(conn, ClientOptions{JobID: jobID})
 }
 
 // NewClientWithVersion is NewClient with an explicit protocol version; it
 // exists so version negotiation can be exercised.
 func NewClientWithVersion(conn net.Conn, jobID uint64, version uint16) (*Client, error) {
-	if err := wire.Write(conn, &wire.Hello{Version: version, JobID: jobID}); err != nil {
+	return NewClientWithOptions(conn, ClientOptions{JobID: jobID, Version: version})
+}
+
+// NewClientWithOptions performs the handshake and starts the session's
+// writer and reader goroutines. On error the connection is closed.
+func NewClientWithOptions(conn net.Conn, opts ClientOptions) (*Client, error) {
+	version := opts.Version
+	if version == 0 {
+		version = wire.Version
+	}
+	if err := wire.Write(conn, &wire.Hello{Version: version, JobID: opts.JobID}); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("storage: hello: %w", err)
 	}
@@ -47,9 +99,10 @@ func NewClientWithVersion(conn net.Conn, jobID uint64, version uint16) (*Client,
 		conn.Close()
 		return nil, fmt.Errorf("storage: hello ack: %w", err)
 	}
+	var ack wire.HelloAck
 	switch m := msg.(type) {
 	case *wire.HelloAck:
-		return &Client{conn: conn, ack: *m}, nil
+		ack = *m
 	case *wire.ErrorResp:
 		conn.Close()
 		return nil, fmt.Errorf("storage: server rejected handshake: %s", m.Message)
@@ -57,15 +110,41 @@ func NewClientWithVersion(conn net.Conn, jobID uint64, version uint16) (*Client,
 		conn.Close()
 		return nil, fmt.Errorf("storage: unexpected handshake reply %s", msg.Type())
 	}
+
+	timeout := opts.RequestTimeout
+	if timeout == 0 {
+		timeout = DefaultRequestTimeout
+	}
+	maxInFlight := opts.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = DefaultMaxInFlight
+	}
+	c := &Client{
+		conn:     conn,
+		ack:      ack,
+		timeout:  timeout,
+		writeCh:  make(chan wire.Message),
+		inflight: make(chan struct{}, maxInFlight),
+		pending:  make(map[uint64]chan wire.Message),
+		done:     make(chan struct{}),
+	}
+	go c.writeLoop()
+	go c.readLoop()
+	return c, nil
 }
 
 // Dial connects over TCP and handshakes.
 func Dial(addr string, jobID uint64) (*Client, error) {
+	return DialWithOptions(addr, ClientOptions{JobID: jobID})
+}
+
+// DialWithOptions connects over TCP and handshakes with explicit options.
+func DialWithOptions(addr string, opts ClientOptions) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("storage: dial %s: %w", addr, err)
 	}
-	return NewClient(conn, jobID)
+	return NewClientWithOptions(conn, opts)
 }
 
 // DatasetName returns the server's dataset name.
@@ -74,68 +153,231 @@ func (c *Client) DatasetName() string { return c.ack.DatasetName }
 // NumSamples returns the dataset size reported by the server.
 func (c *Client) NumSamples() int { return int(c.ack.NumSamples) }
 
-// FetchResult carries a fetched artifact plus its transfer accounting.
+// writeLoop is the single goroutine allowed to write frames after the
+// handshake; it serializes concurrent requests onto the connection.
+func (c *Client) writeLoop() {
+	for {
+		select {
+		case msg := <-c.writeCh:
+			if err := wire.Write(c.conn, msg); err != nil {
+				c.fail(fmt.Errorf("storage: send: %w", err))
+				return
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// readLoop is the single goroutine reading the connection; it routes each
+// response to the waiting caller by RequestID. A response whose RequestID is
+// no longer pending (the caller cancelled) is dropped silently — cancellation
+// must not poison the session for other in-flight requests.
+func (c *Client) readLoop() {
+	for {
+		msg, err := wire.Read(c.conn)
+		if err != nil {
+			c.fail(fmt.Errorf("storage: read: %w", err))
+			return
+		}
+		var reqID uint64
+		switch m := msg.(type) {
+		case *wire.FetchResp:
+			reqID = m.RequestID
+		case *wire.FetchBatchResp:
+			reqID = m.RequestID
+		case *wire.StatsResp:
+			reqID = m.RequestID
+		case *wire.ErrorResp:
+			if m.RequestID == 0 {
+				// Connection-level error: the server is tearing us down.
+				c.fail(fmt.Errorf("storage: server error %d: %s", m.Code, m.Message))
+				return
+			}
+			reqID = m.RequestID
+		default:
+			c.fail(fmt.Errorf("storage: unexpected message %s on session", msg.Type()))
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[reqID]
+		if ok {
+			delete(c.pending, reqID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- msg // buffered(1); the reader never blocks here
+		}
+	}
+}
+
+// fail poisons the session with err and wakes every in-flight caller.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil && !c.closed {
+		c.err = err
+	}
+	c.mu.Unlock()
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.conn.Close()
+	})
+}
+
+// sessionErr returns the error in-flight callers should observe.
+func (c *Client) sessionErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	return ErrClientClosed
+}
+
+// roundTrip sends req (which must already carry RequestID id) and waits for
+// the matching response, honoring ctx and the per-request timeout.
+func (c *Client) roundTrip(ctx context.Context, id uint64, req wire.Message) (wire.Message, error) {
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+
+	// Acquire an in-flight slot.
+	select {
+	case c.inflight <- struct{}{}:
+	case <-ctx.Done():
+		return nil, c.ctxErr(ctx)
+	case <-c.done:
+		return nil, c.sessionErr()
+	}
+	defer func() { <-c.inflight }()
+
+	ch := make(chan wire.Message, 1)
+	c.mu.Lock()
+	if c.closed || c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClientClosed
+		}
+		return nil, err
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+	}()
+
+	select {
+	case c.writeCh <- req:
+	case <-ctx.Done():
+		return nil, c.ctxErr(ctx)
+	case <-c.done:
+		return nil, c.sessionErr()
+	}
+
+	select {
+	case msg := <-ch:
+		if er, ok := msg.(*wire.ErrorResp); ok {
+			return nil, fmt.Errorf("storage: server error %d: %s", er.Code, er.Message)
+		}
+		return msg, nil
+	case <-ctx.Done():
+		return nil, c.ctxErr(ctx)
+	case <-c.done:
+		return nil, c.sessionErr()
+	}
+}
+
+// ctxErr maps a context error to the session's error vocabulary: a
+// per-request timeout that fired while the caller's own context was still
+// live becomes ErrRequestTimeout (retryable).
+func (c *Client) ctxErr(ctx context.Context) error {
+	err := ctx.Err()
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w after %v", ErrRequestTimeout, c.timeout)
+	}
+	return err
+}
+
+// reserveID allocates the next RequestID. IDs start at 1; 0 is reserved for
+// connection-level messages.
+func (c *Client) reserveID() uint64 {
+	c.mu.Lock()
+	c.nextReq++
+	id := c.nextReq
+	c.mu.Unlock()
+	return id
+}
+
+// FetchResult carries one fetched sample plus its transfer accounting. In a
+// batch, Status/Err report per-item failures (Err wraps ErrSampleMissing,
+// ErrBadSplitReq, or ErrFetchFailed); Artifact is only valid when Err is nil.
 type FetchResult struct {
+	Sample    uint32
 	Artifact  pipeline.Artifact
 	Split     int
 	WireBytes int // total response frame size over the link
+	Status    wire.FetchStatus
+	Err       error
+}
+
+// statusErr maps a non-OK fetch status to a client error, or nil for OK.
+func statusErr(status wire.FetchStatus, sample uint32, split int) error {
+	switch status {
+	case wire.FetchOK:
+		return nil
+	case wire.FetchNotFound:
+		return fmt.Errorf("%w: sample %d", ErrSampleMissing, sample)
+	case wire.FetchBadSplit:
+		return fmt.Errorf("%w: sample %d split %d", ErrBadSplitReq, sample, split)
+	default:
+		return fmt.Errorf("%w: sample %d split %d", ErrFetchFailed, sample, split)
+	}
 }
 
 // Fetch requests sample id with the first split ops executed server-side,
-// returning the decoded artifact.
-func (c *Client) Fetch(sample uint32, split int, epoch uint64) (FetchResult, error) {
+// returning the decoded artifact. Cancelling ctx unblocks the caller without
+// disturbing other in-flight requests on the session.
+func (c *Client) Fetch(ctx context.Context, sample uint32, split int, epoch uint64) (FetchResult, error) {
 	if split < 0 || split > 255 {
 		return FetchResult{}, fmt.Errorf("storage: split %d out of range", split)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return FetchResult{}, ErrClientClosed
-	}
-	c.nextReq++
-	req := &wire.Fetch{RequestID: c.nextReq, Sample: sample, Split: uint8(split), Epoch: epoch}
-	if err := wire.Write(c.conn, req); err != nil {
-		return FetchResult{}, fmt.Errorf("storage: send fetch: %w", err)
-	}
-	msg, err := wire.Read(c.conn)
+	id := c.reserveID()
+	req := &wire.Fetch{RequestID: id, Sample: sample, Split: uint8(split), Epoch: epoch}
+	msg, err := c.roundTrip(ctx, id, req)
 	if err != nil {
-		return FetchResult{}, fmt.Errorf("storage: read fetch resp: %w", err)
+		return FetchResult{}, err
 	}
 	resp, ok := msg.(*wire.FetchResp)
 	if !ok {
-		if er, isErr := msg.(*wire.ErrorResp); isErr {
-			return FetchResult{}, fmt.Errorf("storage: server error %d: %s", er.Code, er.Message)
-		}
 		return FetchResult{}, fmt.Errorf("storage: unexpected reply %s", msg.Type())
 	}
-	if resp.RequestID != req.RequestID {
-		return FetchResult{}, fmt.Errorf("storage: response for request %d, want %d", resp.RequestID, req.RequestID)
-	}
-	switch resp.Status {
-	case wire.FetchOK:
-	case wire.FetchNotFound:
-		return FetchResult{}, fmt.Errorf("%w: sample %d", ErrSampleMissing, sample)
-	case wire.FetchBadSplit:
-		return FetchResult{}, fmt.Errorf("%w: split %d", ErrBadSplitReq, split)
-	default:
-		return FetchResult{}, fmt.Errorf("%w: sample %d split %d", ErrFetchFailed, sample, split)
+	if err := statusErr(resp.Status, sample, split); err != nil {
+		return FetchResult{Sample: sample, Status: resp.Status, Err: err}, err
 	}
 	art, err := pipeline.DecodeArtifact(resp.Artifact)
 	if err != nil {
 		return FetchResult{}, fmt.Errorf("storage: decode artifact: %w", err)
 	}
 	return FetchResult{
+		Sample:    sample,
 		Artifact:  art,
 		Split:     int(resp.Split),
 		WireBytes: wire.FrameSize(resp),
+		Status:    wire.FetchOK,
 	}, nil
 }
 
 // FetchBatch requests up to wire.MaxBatchItems samples in one round trip.
 // splits must be the same length as samples. Results come back in request
-// order; a per-item failure fails the whole call (the trainer treats any
-// missing sample as fatal anyway).
-func (c *Client) FetchBatch(samples []uint32, splits []int, epoch uint64) ([]FetchResult, error) {
+// order. Per-item failures do NOT fail the call: each FetchResult carries its
+// own Status/Err so a retry layer can re-request only the failed samples. The
+// returned error is non-nil only for validation or transport-level failures.
+func (c *Client) FetchBatch(ctx context.Context, samples []uint32, splits []int, epoch uint64) ([]FetchResult, error) {
 	if len(samples) == 0 {
 		return nil, errors.New("storage: empty batch")
 	}
@@ -153,29 +395,15 @@ func (c *Client) FetchBatch(samples []uint32, splits []int, epoch uint64) ([]Fet
 		items[i] = wire.FetchBatchItem{Sample: samples[i], Split: uint8(splits[i])}
 	}
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return nil, ErrClientClosed
-	}
-	c.nextReq++
-	req := &wire.FetchBatch{RequestID: c.nextReq, Epoch: epoch, Items: items}
-	if err := wire.Write(c.conn, req); err != nil {
-		return nil, fmt.Errorf("storage: send batch: %w", err)
-	}
-	msg, err := wire.Read(c.conn)
+	id := c.reserveID()
+	req := &wire.FetchBatch{RequestID: id, Epoch: epoch, Items: items}
+	msg, err := c.roundTrip(ctx, id, req)
 	if err != nil {
-		return nil, fmt.Errorf("storage: read batch resp: %w", err)
+		return nil, err
 	}
 	resp, ok := msg.(*wire.FetchBatchResp)
 	if !ok {
-		if er, isErr := msg.(*wire.ErrorResp); isErr {
-			return nil, fmt.Errorf("storage: server error %d: %s", er.Code, er.Message)
-		}
 		return nil, fmt.Errorf("storage: unexpected batch reply %s", msg.Type())
-	}
-	if resp.RequestID != req.RequestID {
-		return nil, fmt.Errorf("storage: batch response for request %d, want %d", resp.RequestID, req.RequestID)
 	}
 	if len(resp.Items) != len(items) {
 		return nil, fmt.Errorf("storage: batch returned %d items, want %d", len(resp.Items), len(items))
@@ -189,45 +417,32 @@ func (c *Client) FetchBatch(samples []uint32, splits []int, epoch uint64) ([]Fet
 	overhead := frame - payload
 	out := make([]FetchResult, len(resp.Items))
 	for i, it := range resp.Items {
-		switch it.Status {
-		case wire.FetchOK:
-		case wire.FetchNotFound:
-			return nil, fmt.Errorf("%w: sample %d", ErrSampleMissing, it.Sample)
-		case wire.FetchBadSplit:
-			return nil, fmt.Errorf("%w: sample %d split %d", ErrBadSplitReq, it.Sample, it.Split)
-		default:
-			return nil, fmt.Errorf("%w: sample %d split %d", ErrFetchFailed, it.Sample, it.Split)
+		out[i] = FetchResult{Sample: it.Sample, Split: int(it.Split), Status: it.Status}
+		if err := statusErr(it.Status, it.Sample, int(it.Split)); err != nil {
+			out[i].Err = err
+			continue
 		}
 		art, err := pipeline.DecodeArtifact(it.Artifact)
 		if err != nil {
-			return nil, fmt.Errorf("storage: decode batch artifact %d: %w", it.Sample, err)
+			out[i].Err = fmt.Errorf("storage: decode batch artifact %d: %w", it.Sample, err)
+			continue
 		}
 		share := overhead / len(resp.Items)
 		if i == 0 {
 			share += overhead % len(resp.Items)
 		}
-		out[i] = FetchResult{
-			Artifact:  art,
-			Split:     int(it.Split),
-			WireBytes: len(it.Artifact) + share,
-		}
+		out[i].Artifact = art
+		out[i].WireBytes = len(it.Artifact) + share
 	}
 	return out, nil
 }
 
 // Stats fetches the server's counters.
-func (c *Client) Stats() (wire.StatsResp, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return wire.StatsResp{}, ErrClientClosed
-	}
-	if err := wire.Write(c.conn, &wire.StatsReq{}); err != nil {
-		return wire.StatsResp{}, fmt.Errorf("storage: send stats req: %w", err)
-	}
-	msg, err := wire.Read(c.conn)
+func (c *Client) Stats(ctx context.Context) (wire.StatsResp, error) {
+	id := c.reserveID()
+	msg, err := c.roundTrip(ctx, id, &wire.StatsReq{RequestID: id})
 	if err != nil {
-		return wire.StatsResp{}, fmt.Errorf("storage: read stats: %w", err)
+		return wire.StatsResp{}, err
 	}
 	resp, ok := msg.(*wire.StatsResp)
 	if !ok {
@@ -236,13 +451,15 @@ func (c *Client) Stats() (wire.StatsResp, error) {
 	return *resp, nil
 }
 
-// Close shuts the connection; it is idempotent.
+// Close shuts the session down; it is idempotent. In-flight requests
+// unblock with ErrClientClosed.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return nil
-	}
 	c.closed = true
-	return c.conn.Close()
+	c.mu.Unlock()
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.conn.Close()
+	})
+	return nil
 }

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"net"
 	"testing"
 	"time"
@@ -52,14 +53,14 @@ func TestIdleTimeoutDropsSilentClients(t *testing.T) {
 	// Keep the active client busy past the idle window.
 	deadline := time.Now().Add(400 * time.Millisecond)
 	for time.Now().Before(deadline) {
-		if _, err := active.Fetch(0, 0, 1); err != nil {
+		if _, err := active.Fetch(context.Background(), 0, 0, 1); err != nil {
 			t.Fatalf("active client dropped: %v", err)
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
 
 	// The silent client's connection must be gone by now.
-	if _, err := silent.Fetch(0, 0, 1); err == nil {
+	if _, err := silent.Fetch(context.Background(), 0, 0, 1); err == nil {
 		t.Fatal("silent client survived the idle timeout")
 	}
 }

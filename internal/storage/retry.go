@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -11,18 +12,30 @@ import (
 )
 
 // ReconnectingClient wraps a dialer with transparent reconnect-and-retry:
-// when an operation fails on the current connection, it is closed, a fresh
-// connection is dialed (with backoff), and the operation retried. Fetches
+// when an operation fails on the current session, the session is torn down,
+// a fresh one is dialed (with backoff), and the operation retried. Fetches
 // are idempotent — augmentation seeds depend only on (job, epoch, sample) —
 // so retrying is always safe.
+//
+// The wrapper preserves the session's pipelining: no lock is held while an
+// operation is in flight, so concurrent callers share one multiplexed
+// session. Reconnects are single-flight via a generation counter — when
+// several in-flight operations fail on the same broken session, only the
+// first tears it down and the rest simply retry on the replacement.
 type ReconnectingClient struct {
 	dial     func() (*Client, error)
 	attempts int
 	backoff  time.Duration
 	clock    simclock.Clock
 
+	// Handshake facts cached at construction so they remain available
+	// while the session is down between retries.
+	datasetName string
+	numSamples  int
+
 	mu      sync.Mutex
-	current *Client
+	current *Client // nil while broken, until the next acquire redials
+	gen     int64
 	closed  bool
 	retries int64
 }
@@ -45,11 +58,13 @@ func NewReconnecting(dial func() (*Client, error), attempts int, backoff time.Du
 		return nil, err
 	}
 	return &ReconnectingClient{
-		dial:     dial,
-		attempts: attempts,
-		backoff:  backoff,
-		clock:    clock,
-		current:  first,
+		dial:        dial,
+		attempts:    attempts,
+		backoff:     backoff,
+		clock:       clock,
+		datasetName: first.DatasetName(),
+		numSamples:  first.NumSamples(),
+		current:     first,
 	}, nil
 }
 
@@ -60,52 +75,77 @@ func (r *ReconnectingClient) Retries() int64 {
 	return r.retries
 }
 
-// DatasetName returns the dataset name from the live connection.
-func (r *ReconnectingClient) DatasetName() string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.current.DatasetName()
-}
+// DatasetName returns the dataset name from the original handshake.
+func (r *ReconnectingClient) DatasetName() string { return r.datasetName }
 
-// NumSamples returns the dataset size from the live connection.
-func (r *ReconnectingClient) NumSamples() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.current.NumSamples()
-}
+// NumSamples returns the dataset size from the original handshake.
+func (r *ReconnectingClient) NumSamples() int { return r.numSamples }
 
-// withRetry runs op against the current client, reconnecting between
-// attempts. Application-level rejections (missing sample, bad split) are
-// returned immediately — only transport errors trigger a retry.
-func (r *ReconnectingClient) withRetry(op func(*Client) error) error {
+// acquire returns the live session and its generation, redialing if the
+// previous one was invalidated. Dialing happens under the lock, so exactly
+// one caller redials while the rest wait for the result.
+func (r *ReconnectingClient) acquire() (*Client, int64, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
-		return ErrClientClosed
+		return nil, 0, ErrClientClosed
 	}
+	if r.current != nil {
+		return r.current, r.gen, nil
+	}
+	if r.backoff > 0 {
+		r.clock.Sleep(r.backoff)
+	}
+	next, err := r.dial()
+	if err != nil {
+		return nil, 0, err
+	}
+	r.current = next
+	r.retries++
+	return r.current, r.gen, nil
+}
+
+// invalidate tears down the session a failed operation ran on — but only if
+// no other caller already did (the generation check makes teardown
+// single-flight across concurrent failures).
+func (r *ReconnectingClient) invalidate(gen int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || r.gen != gen || r.current == nil {
+		return
+	}
+	r.current.Close()
+	r.current = nil
+	r.gen++
+}
+
+// withRetry runs op against the current session, reconnecting between
+// attempts. Application-level rejections (missing sample, bad split) and
+// caller cancellation are returned immediately — only transport-level
+// errors trigger a retry.
+func (r *ReconnectingClient) withRetry(ctx context.Context, op func(*Client) error) error {
 	var lastErr error
 	for try := 0; try < r.attempts; try++ {
-		if try > 0 {
-			r.current.Close()
-			if r.backoff > 0 {
-				r.clock.Sleep(r.backoff)
-			}
-			next, err := r.dial()
-			if err != nil {
-				lastErr = err
-				continue
-			}
-			r.current = next
-			r.retries++
+		if err := ctx.Err(); err != nil {
+			return err
 		}
-		err := op(r.current)
+		c, gen, err := r.acquire()
+		if err != nil {
+			if errors.Is(err, ErrClientClosed) {
+				return err
+			}
+			lastErr = err
+			continue
+		}
+		err = op(c)
 		if err == nil {
 			return nil
 		}
-		if isPermanent(err) {
+		if isPermanent(err) || errors.Is(err, context.Canceled) {
 			return err
 		}
 		lastErr = err
+		r.invalidate(gen)
 	}
 	return fmt.Errorf("storage: giving up after %d attempts: %w", r.attempts, lastErr)
 }
@@ -119,10 +159,10 @@ func isPermanent(err error) bool {
 }
 
 // Fetch is Client.Fetch with reconnect-and-retry.
-func (r *ReconnectingClient) Fetch(sample uint32, split int, epoch uint64) (FetchResult, error) {
+func (r *ReconnectingClient) Fetch(ctx context.Context, sample uint32, split int, epoch uint64) (FetchResult, error) {
 	var out FetchResult
-	err := r.withRetry(func(c *Client) error {
-		res, err := c.Fetch(sample, split, epoch)
+	err := r.withRetry(ctx, func(c *Client) error {
+		res, err := c.Fetch(ctx, sample, split, epoch)
 		if err != nil {
 			return err
 		}
@@ -132,24 +172,67 @@ func (r *ReconnectingClient) Fetch(sample uint32, split int, epoch uint64) (Fetc
 	return out, err
 }
 
-// FetchBatch is Client.FetchBatch with reconnect-and-retry.
-func (r *ReconnectingClient) FetchBatch(samples []uint32, splits []int, epoch uint64) ([]FetchResult, error) {
-	var out []FetchResult
-	err := r.withRetry(func(c *Client) error {
-		res, err := c.FetchBatch(samples, splits, epoch)
+// errItemsPending marks a batch round that succeeded at the transport level
+// but left items needing a re-request; it drives the retry loop.
+var errItemsPending = errors.New("storage: batch items pending retry")
+
+// FetchBatch is Client.FetchBatch with reconnect-and-retry. Across attempts
+// only the samples that failed transiently are re-requested; samples already
+// fetched keep their results. Items that still fail after all attempts carry
+// their error in FetchResult.Err (the call itself returns nil), matching the
+// per-item contract of Client.FetchBatch.
+func (r *ReconnectingClient) FetchBatch(ctx context.Context, samples []uint32, splits []int, epoch uint64) ([]FetchResult, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("storage: empty batch")
+	}
+	if len(samples) != len(splits) {
+		return nil, fmt.Errorf("storage: %d samples but %d splits", len(samples), len(splits))
+	}
+	out := make([]FetchResult, len(samples))
+	pending := make([]int, len(samples)) // indices into samples still to fetch
+	for i := range pending {
+		pending[i] = i
+	}
+	err := r.withRetry(ctx, func(c *Client) error {
+		subSamples := make([]uint32, len(pending))
+		subSplits := make([]int, len(pending))
+		for j, idx := range pending {
+			subSamples[j] = samples[idx]
+			subSplits[j] = splits[idx]
+		}
+		res, err := c.FetchBatch(ctx, subSamples, subSplits, epoch)
 		if err != nil {
 			return err
 		}
-		out = res
+		var remaining []int
+		for j, item := range res {
+			idx := pending[j]
+			out[idx] = item
+			if item.Err != nil && !isPermanent(item.Err) {
+				remaining = append(remaining, idx)
+			}
+		}
+		pending = remaining
+		if len(pending) > 0 {
+			return fmt.Errorf("%w: %d of %d", errItemsPending, len(pending), len(samples))
+		}
 		return nil
 	})
-	return out, err
+	if err != nil {
+		if errors.Is(err, errItemsPending) {
+			// Every still-pending item carries its own Err from the last
+			// round; per-item semantics say the call itself succeeds.
+			return out, nil
+		}
+		return nil, err
+	}
+	return out, nil
 }
 
 // Stats is Client.Stats with reconnect-and-retry.
-func (r *ReconnectingClient) Stats() (out wire.StatsResp, err error) {
-	err = r.withRetry(func(c *Client) error {
-		s, err := c.Stats()
+func (r *ReconnectingClient) Stats(ctx context.Context) (out wire.StatsResp, err error) {
+	err = r.withRetry(ctx, func(c *Client) error {
+		s, err := c.Stats(ctx)
 		if err != nil {
 			return err
 		}
@@ -159,7 +242,7 @@ func (r *ReconnectingClient) Stats() (out wire.StatsResp, err error) {
 	return out, err
 }
 
-// Close shuts the live connection; idempotent.
+// Close shuts the live session; idempotent.
 func (r *ReconnectingClient) Close() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -167,5 +250,8 @@ func (r *ReconnectingClient) Close() error {
 		return nil
 	}
 	r.closed = true
-	return r.current.Close()
+	if r.current != nil {
+		return r.current.Close()
+	}
+	return nil
 }

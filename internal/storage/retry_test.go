@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -62,7 +63,7 @@ func TestReconnectingSurvivesConnectionDeath(t *testing.T) {
 		t.Fatalf("handshake facts: %d %q", rc.NumSamples(), rc.DatasetName())
 	}
 	for k := 0; k < 40; k++ {
-		res, err := rc.Fetch(uint32(k%4), 0, 1)
+		res, err := rc.Fetch(context.Background(), uint32(k%4), 0, 1)
 		if err != nil {
 			t.Fatalf("fetch %d: %v", k, err)
 		}
@@ -73,7 +74,7 @@ func TestReconnectingSurvivesConnectionDeath(t *testing.T) {
 	if rc.Retries() == 0 {
 		t.Fatal("no reconnects despite flaky links")
 	}
-	if _, err := rc.Stats(); err != nil {
+	if _, err := rc.Stats(context.Background()); err != nil {
 		t.Fatalf("stats over flaky link: %v", err)
 	}
 }
@@ -90,7 +91,7 @@ func TestReconnectingGivesUpEventually(t *testing.T) {
 		return
 	}
 	defer rc.Close()
-	if _, err := rc.Fetch(0, 0, 1); err == nil {
+	if _, err := rc.Fetch(context.Background(), 0, 0, 1); err == nil {
 		t.Fatal("fetch succeeded with an impossible byte budget")
 	}
 }
@@ -102,13 +103,13 @@ func TestReconnectingDoesNotRetryPermanentErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rc.Close()
-	if _, err := rc.Fetch(99, 0, 1); !errors.Is(err, ErrSampleMissing) {
+	if _, err := rc.Fetch(context.Background(), 99, 0, 1); !errors.Is(err, ErrSampleMissing) {
 		t.Fatalf("missing sample err = %v", err)
 	}
 	if rc.Retries() != 0 {
 		t.Fatalf("%d retries for a permanent error", rc.Retries())
 	}
-	if _, err := rc.Fetch(0, 6, 1); !errors.Is(err, ErrBadSplitReq) {
+	if _, err := rc.Fetch(context.Background(), 0, 6, 1); !errors.Is(err, ErrBadSplitReq) {
 		t.Fatalf("bad split err = %v", err)
 	}
 }
@@ -125,7 +126,7 @@ func TestReconnectingClosedOperations(t *testing.T) {
 	if err := rc.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rc.Fetch(0, 0, 1); !errors.Is(err, ErrClientClosed) {
+	if _, err := rc.Fetch(context.Background(), 0, 0, 1); !errors.Is(err, ErrClientClosed) {
 		t.Fatalf("fetch after close = %v", err)
 	}
 }
@@ -138,7 +139,7 @@ func TestReconnectingBatchFetch(t *testing.T) {
 	}
 	defer rc.Close()
 	for k := 0; k < 10; k++ {
-		res, err := rc.FetchBatch([]uint32{0, 1, 2, 3}, []int{0, 0, 2, 2}, uint64(k))
+		res, err := rc.FetchBatch(context.Background(), []uint32{0, 1, 2, 3}, []int{0, 0, 2, 2}, uint64(k))
 		if err != nil {
 			t.Fatalf("batch %d: %v", k, err)
 		}

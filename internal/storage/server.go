@@ -26,14 +26,24 @@ type ServerConfig struct {
 	// IdleTimeout drops connections with no request for this long
 	// (0 = never). Applies between requests, not during handling.
 	IdleTimeout time.Duration
+	// MaxInFlight bounds concurrently handled requests per connection
+	// (0 → DefaultServerMaxInFlight). Requests beyond the bound queue in
+	// the read loop, applying backpressure through the socket.
+	MaxInFlight int
 	// Logger receives connection-level errors; nil silences them.
 	Logger *log.Logger
 }
 
+// DefaultServerMaxInFlight is the per-connection concurrent-request bound
+// when ServerConfig.MaxInFlight is zero.
+const DefaultServerMaxInFlight = 32
+
 // Server answers wire-protocol requests: handshake, fetches with offload
-// directives, and stats. Each connection is served by one goroutine with
-// sequential request handling (clients parallelize by opening one
-// connection per loader worker, as the trainer does).
+// directives, and stats. Each connection is a multiplexed session: a read
+// loop dispatches requests to bounded handler goroutines and a single
+// writer goroutine serializes responses in completion order, so responses
+// to a pipelining client genuinely interleave. The executor's core budget
+// still bounds actual preprocessing parallelism across all connections.
 type Server struct {
 	store       *Store
 	pipe        *pipeline.Pipeline
@@ -41,6 +51,7 @@ type Server struct {
 	counters    *Counters
 	logger      *log.Logger
 	idleTimeout time.Duration
+	maxInFlight int
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -68,6 +79,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.IdleTimeout < 0 {
 		return nil, errors.New("storage: negative idle timeout")
 	}
+	if cfg.MaxInFlight < 0 {
+		return nil, errors.New("storage: negative max in-flight")
+	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight == 0 {
+		maxInFlight = DefaultServerMaxInFlight
+	}
 	return &Server{
 		store:       cfg.Store,
 		pipe:        cfg.Pipeline,
@@ -75,6 +93,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		counters:    counters,
 		logger:      cfg.Logger,
 		idleTimeout: cfg.IdleTimeout,
+		maxInFlight: maxInFlight,
 		conns:       make(map[net.Conn]struct{}),
 	}, nil
 }
@@ -193,11 +212,50 @@ func (s *Server) handleConn(conn net.Conn) {
 		return
 	}
 
+	// Response writer: the single goroutine writing frames after the
+	// handshake, serializing responses in whatever order handlers finish.
+	// On a write error it closes the connection (unblocking the read loop)
+	// but keeps draining so handlers never block on send.
+	respCh := make(chan wire.Message, s.maxInFlight)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		broken := false
+		for m := range respCh {
+			if broken {
+				continue
+			}
+			if err := s.send(conn, m); err != nil {
+				if !errors.Is(err, net.ErrClosed) {
+					s.logf("storage: send resp: %v", err)
+				}
+				conn.Close()
+				broken = true
+			}
+		}
+	}()
+
+	// Read loop: dispatch each request to its own handler goroutine,
+	// bounded by maxInFlight. Fetch, batch, and stats requests are all
+	// handled uniformly so responses interleave by completion order.
+	sem := make(chan struct{}, s.maxInFlight)
+	var wg sync.WaitGroup
+	dispatch := func(handle func() wire.Message) {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			respCh <- handle()
+		}()
+	}
+
+readLoop:
 	for {
 		if s.idleTimeout > 0 {
 			if err := conn.SetReadDeadline(time.Now().Add(s.idleTimeout)); err != nil {
 				s.logf("storage: set deadline: %v", err)
-				return
+				break
 			}
 		}
 		msg, err := wire.Read(conn)
@@ -205,38 +263,34 @@ func (s *Server) handleConn(conn net.Conn) {
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) && !errors.Is(err, os.ErrDeadlineExceeded) {
 				s.logf("storage: read: %v", err)
 			}
-			return
+			break
 		}
 		switch req := msg.(type) {
 		case *wire.Fetch:
-			resp := s.handleFetch(jobID, req)
-			if err := s.send(conn, resp); err != nil {
-				s.logf("storage: send fetch resp: %v", err)
-				return
-			}
+			dispatch(func() wire.Message { return s.handleFetch(jobID, req) })
 		case *wire.FetchBatch:
-			resp := s.handleFetchBatch(jobID, req)
-			if err := s.send(conn, resp); err != nil {
-				s.logf("storage: send batch resp: %v", err)
-				return
-			}
+			dispatch(func() wire.Message { return s.handleFetchBatch(jobID, req) })
 		case *wire.StatsReq:
-			resp := &wire.StatsResp{
-				SamplesServed:  s.counters.SamplesServed.Load(),
-				OpsExecuted:    s.counters.OpsExecuted.Load(),
-				BytesSent:      s.counters.BytesSent.Load(),
-				ServerCPUNanos: s.counters.CPUNanos.Load(),
-			}
-			if err := s.send(conn, resp); err != nil {
-				s.logf("storage: send stats: %v", err)
-				return
-			}
+			dispatch(func() wire.Message {
+				return &wire.StatsResp{
+					RequestID:      req.RequestID,
+					SamplesServed:  s.counters.SamplesServed.Load(),
+					OpsExecuted:    s.counters.OpsExecuted.Load(),
+					BytesSent:      s.counters.BytesSent.Load(),
+					ServerCPUNanos: s.counters.CPUNanos.Load(),
+				}
+			})
 		default:
-			s.send(conn, &wire.ErrorResp{Code: wire.CodeBadRequest,
-				Message: fmt.Sprintf("unexpected %s", msg.Type())})
-			return
+			// Connection-level protocol violation: RequestID 0 tells the
+			// client the whole session is done.
+			respCh <- &wire.ErrorResp{Code: wire.CodeBadRequest,
+				Message: fmt.Sprintf("unexpected %s", msg.Type())}
+			break readLoop
 		}
 	}
+	wg.Wait()
+	close(respCh)
+	<-writerDone
 }
 
 // handleFetchBatch serves a batched fetch: items execute concurrently (the

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"net"
 	"sync"
@@ -212,7 +213,7 @@ func TestFetchAllSplitsMatchLocal(t *testing.T) {
 			t.Fatal(err)
 		}
 		for split := 0; split <= p.Len(); split++ {
-			res, err := c.Fetch(sample, split, epoch)
+			res, err := c.Fetch(context.Background(), sample, split, epoch)
 			if err != nil {
 				t.Fatalf("fetch sample=%d split=%d: %v", sample, split, err)
 			}
@@ -235,13 +236,13 @@ func TestFetchErrors(t *testing.T) {
 	_, dial := startServer(t, ServerConfig{Store: st, Pipeline: pipeline.DefaultStandard(), Cores: 1})
 	c := dial()
 
-	if _, err := c.Fetch(99, 0, 1); !errors.Is(err, ErrSampleMissing) {
+	if _, err := c.Fetch(context.Background(), 99, 0, 1); !errors.Is(err, ErrSampleMissing) {
 		t.Fatalf("missing sample err = %v", err)
 	}
-	if _, err := c.Fetch(0, 6, 1); !errors.Is(err, ErrBadSplitReq) {
+	if _, err := c.Fetch(context.Background(), 0, 6, 1); !errors.Is(err, ErrBadSplitReq) {
 		t.Fatalf("oversized split err = %v", err)
 	}
-	if _, err := c.Fetch(0, 300, 1); err == nil {
+	if _, err := c.Fetch(context.Background(), 0, 300, 1); err == nil {
 		t.Fatal("accepted split > 255")
 	}
 }
@@ -250,10 +251,10 @@ func TestFetchOffloadDisabled(t *testing.T) {
 	st := testStore(t, 1)
 	_, dial := startServer(t, ServerConfig{Store: st, Pipeline: pipeline.DefaultStandard(), Cores: 0})
 	c := dial()
-	if _, err := c.Fetch(0, 2, 1); !errors.Is(err, ErrBadSplitReq) {
+	if _, err := c.Fetch(context.Background(), 0, 2, 1); !errors.Is(err, ErrBadSplitReq) {
 		t.Fatalf("offload with 0 cores err = %v", err)
 	}
-	if _, err := c.Fetch(0, 0, 1); err != nil {
+	if _, err := c.Fetch(context.Background(), 0, 0, 1); err != nil {
 		t.Fatalf("raw fetch with 0 cores: %v", err)
 	}
 }
@@ -263,13 +264,13 @@ func TestStatsAccounting(t *testing.T) {
 	srv, dial := startServer(t, ServerConfig{Store: st, Pipeline: pipeline.DefaultStandard(), Cores: 2})
 	c := dial()
 
-	if _, err := c.Fetch(0, 0, 1); err != nil {
+	if _, err := c.Fetch(context.Background(), 0, 0, 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Fetch(1, 2, 1); err != nil {
+	if _, err := c.Fetch(context.Background(), 1, 2, 1); err != nil {
 		t.Fatal(err)
 	}
-	stats, err := c.Stats()
+	stats, err := c.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +301,7 @@ func TestConcurrentClients(t *testing.T) {
 		go func(sample uint32) {
 			defer wg.Done()
 			c := dial()
-			res, err := c.Fetch(sample, 2, 1)
+			res, err := c.Fetch(context.Background(), sample, 2, 1)
 			if err != nil {
 				errs <- err
 				return
@@ -396,10 +397,10 @@ func TestClientClosedOperations(t *testing.T) {
 	if err := c.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Fetch(0, 0, 1); !errors.Is(err, ErrClientClosed) {
+	if _, err := c.Fetch(context.Background(), 0, 0, 1); !errors.Is(err, ErrClientClosed) {
 		t.Fatalf("Fetch after close = %v", err)
 	}
-	if _, err := c.Stats(); !errors.Is(err, ErrClientClosed) {
+	if _, err := c.Stats(context.Background()); !errors.Is(err, ErrClientClosed) {
 		t.Fatalf("Stats after close = %v", err)
 	}
 }
@@ -423,7 +424,7 @@ func TestServerOverRealTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	res, err := c.Fetch(1, 5, 2)
+	res, err := c.Fetch(context.Background(), 1, 5, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -456,7 +457,7 @@ func TestServerOverShapedLink(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	res, err := c.Fetch(0, 1, 1)
+	res, err := c.Fetch(context.Background(), 0, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package trainsim
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -66,7 +67,7 @@ func TestJobIsolationOfAugmentations(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer c.Close()
-		res, err := c.Fetch(0, 2, 5) // offloaded RandomResizedCrop
+		res, err := c.Fetch(context.Background(), 0, 2, 5) // offloaded RandomResizedCrop
 		if err != nil {
 			t.Fatal(err)
 		}

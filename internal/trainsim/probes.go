@@ -1,6 +1,7 @@
 package trainsim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -37,12 +38,12 @@ func (t *Trainer) Stage1Probes() profiler.Probes {
 
 	var cached [][]byte
 	ioProbe := func(batches int) (int, time.Duration, error) {
-		client := t.clients[0]
+		client := t.client
 		total := batches * batch
 		start := clock.Now()
 		for k := 0; k < total; k++ {
 			id := uint32(k % t.n)
-			res, err := client.Fetch(id, 0, 0)
+			res, err := client.Fetch(context.Background(), id, 0, 0)
 			if err != nil {
 				return 0, 0, fmt.Errorf("io probe fetch %d: %w", id, err)
 			}

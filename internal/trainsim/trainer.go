@@ -7,11 +7,11 @@
 package trainsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand/v2"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/gpu"
@@ -27,21 +27,26 @@ import (
 // StorageClient is the compute node's view of the storage service. It is
 // satisfied by *storage.Client, *storage.ReconnectingClient (transparent
 // retry), and *cache.FetchingCache (local raw-object cache), so resilience
-// and caching compose with the trainer without changes here.
+// and caching compose with the trainer without changes here. Implementations
+// must be safe for concurrent use: the trainer pipelines many in-flight
+// requests over one shared session.
 type StorageClient interface {
-	Fetch(sample uint32, split int, epoch uint64) (storage.FetchResult, error)
-	FetchBatch(samples []uint32, splits []int, epoch uint64) ([]storage.FetchResult, error)
+	Fetch(ctx context.Context, sample uint32, split int, epoch uint64) (storage.FetchResult, error)
+	FetchBatch(ctx context.Context, samples []uint32, splits []int, epoch uint64) ([]storage.FetchResult, error)
 	NumSamples() int
 	Close() error
 }
 
 // Config describes a training client.
 type Config struct {
-	// DialClient opens one storage connection; the trainer calls it once
-	// per worker.
+	// DialClient opens the storage session; the trainer calls it exactly
+	// once and pipelines all requests over the shared session.
 	DialClient func() (StorageClient, error)
-	// Workers is the loader parallelism; 0 means 4.
+	// Workers is the local preprocessing parallelism; 0 means 4.
 	Workers int
+	// PrefetchWindow bounds concurrently in-flight fetch requests on the
+	// session (the prefetch depth); 0 means 2×Workers.
+	PrefetchWindow int
 	// ComputeCores bounds concurrent local preprocessing; 0 means Workers.
 	ComputeCores int
 	// Pipeline is the preprocessing pipeline (must match the server's).
@@ -68,11 +73,11 @@ type Config struct {
 
 // Trainer runs training epochs against a storage server.
 type Trainer struct {
-	cfg     Config
-	clients []StorageClient
-	n       int
-	closed  bool
-	mu      sync.Mutex
+	cfg    Config
+	client StorageClient
+	n      int
+	closed bool
+	mu     sync.Mutex
 }
 
 // EpochReport summarizes one epoch.
@@ -126,16 +131,19 @@ func New(cfg Config) (*Trainer, error) {
 	if cfg.FetchBatchSize > wire.MaxBatchItems {
 		cfg.FetchBatchSize = wire.MaxBatchItems
 	}
-	t := &Trainer{cfg: cfg}
-	for i := 0; i < cfg.Workers; i++ {
-		c, err := cfg.DialClient()
-		if err != nil {
-			t.Close()
-			return nil, fmt.Errorf("trainsim: dial worker %d: %w", i, err)
-		}
-		t.clients = append(t.clients, c)
+	if cfg.PrefetchWindow < 0 {
+		return nil, fmt.Errorf("trainsim: prefetch window %d", cfg.PrefetchWindow)
 	}
-	t.n = t.clients[0].NumSamples()
+	if cfg.PrefetchWindow == 0 {
+		cfg.PrefetchWindow = 2 * cfg.Workers
+	}
+	t := &Trainer{cfg: cfg}
+	c, err := cfg.DialClient()
+	if err != nil {
+		return nil, fmt.Errorf("trainsim: dial: %w", err)
+	}
+	t.client = c
+	t.n = c.NumSamples()
 	if t.n == 0 {
 		t.Close()
 		return nil, errors.New("trainsim: server reports empty dataset")
@@ -146,7 +154,7 @@ func New(cfg Config) (*Trainer, error) {
 // N returns the dataset size reported by the server.
 func (t *Trainer) N() int { return t.n }
 
-// Close releases every client connection.
+// Close releases the storage session.
 func (t *Trainer) Close() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -154,8 +162,8 @@ func (t *Trainer) Close() {
 		return
 	}
 	t.closed = true
-	for _, c := range t.clients {
-		c.Close()
+	if t.client != nil {
+		t.client.Close()
 	}
 }
 
@@ -183,12 +191,22 @@ type sampleOutcome struct {
 // When collector is non-nil the epoch runs in profiling mode: every sample
 // is fetched raw and preprocessed locally with per-op measurement — the
 // paper's stage-2 "first epoch without offloading".
+//
+// The epoch runs as a two-stage pipeline over the shared storage session:
+// PrefetchWindow fetcher goroutines keep up to that many requests in flight
+// (the session demultiplexes responses), and Workers processor goroutines
+// finish preprocessing locally under the compute-core budget. A failure
+// cancels the epoch's context, which unblocks in-flight fetches promptly
+// without poisoning the session.
 func (t *Trainer) RunEpoch(epoch uint64, plan *policy.Plan, collector *profiler.Collector) (EpochReport, error) {
 	if plan != nil && plan.N() != t.n {
 		return EpochReport{}, fmt.Errorf("trainsim: plan covers %d samples, dataset has %d", plan.N(), t.n)
 	}
 	clock := t.cfg.Clock
 	start := clock.Now()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 
 	chunkSize := 1
 	if t.cfg.FetchBatchSize > 1 {
@@ -205,48 +223,60 @@ func (t *Trainer) RunEpoch(epoch uint64, plan *policy.Plan, collector *profiler.
 	}
 	close(chunks)
 
+	// Stage 1: fetchers keep the link full. Each goroutine holds at most
+	// one chunk request in flight, so the window bounds session occupancy.
+	fetched := make(chan fetchedChunk, t.cfg.PrefetchWindow)
+	var fwg sync.WaitGroup
+	for f := 0; f < t.cfg.PrefetchWindow; f++ {
+		fwg.Add(1)
+		go func() {
+			defer fwg.Done()
+			for chunk := range chunks {
+				if ctx.Err() != nil {
+					return
+				}
+				fc := t.fetchChunk(ctx, epoch, chunk, plan, collector)
+				select {
+				case fetched <- fc:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		fwg.Wait()
+		close(fetched)
+	}()
+
+	// Stage 2: processors finish samples locally. After a cancel they keep
+	// draining `fetched` without working, so fetchers never block.
 	results := make(chan sampleOutcome, t.cfg.BatchSize*2)
 	computeSem := make(chan struct{}, t.cfg.ComputeCores)
-	abort := make(chan struct{})
-	var abortOnce sync.Once
-	var aborted atomic.Bool
-	stop := func() {
-		abortOnce.Do(func() {
-			aborted.Store(true)
-			close(abort)
-		})
-	}
-
-	var wg sync.WaitGroup
+	var pwg sync.WaitGroup
 	for w := 0; w < t.cfg.Workers; w++ {
-		wg.Add(1)
-		go func(client StorageClient) {
-			defer wg.Done()
-			for {
-				select {
-				case <-abort:
-					return
-				case chunk, ok := <-chunks:
-					if !ok {
-						return
+		pwg.Add(1)
+		go func() {
+			defer pwg.Done()
+			for fc := range fetched {
+				if ctx.Err() != nil {
+					continue
+				}
+				for _, out := range t.processFetched(ctx, fc, epoch, collector, computeSem) {
+					select {
+					case results <- out:
+					case <-ctx.Done():
 					}
-					for _, out := range t.processChunk(client, epoch, chunk, plan, collector, computeSem) {
-						select {
-						case results <- out:
-						case <-abort:
-							return
-						}
-						if out.err != nil {
-							stop()
-							return
-						}
+					if out.err != nil {
+						cancel()
+						break
 					}
 				}
 			}
-		}(t.clients[w])
+		}()
 	}
 	go func() {
-		wg.Wait()
+		pwg.Wait()
 		close(results)
 	}()
 
@@ -303,42 +333,71 @@ func (t *Trainer) splitFor(i int, plan *policy.Plan, collector *profiler.Collect
 	return plan.Split(i)
 }
 
-// processChunk fetches a chunk (one round trip when batching is enabled)
-// and finishes each sample locally. On a fetch error it returns a single
-// failed outcome.
-func (t *Trainer) processChunk(client StorageClient, epoch uint64, chunk []int, plan *policy.Plan, collector *profiler.Collector, computeSem chan struct{}) []sampleOutcome {
-	if len(chunk) == 1 {
-		i := chunk[0]
-		split := t.splitFor(i, plan, collector)
-		fetchStart := time.Now()
-		res, err := client.Fetch(uint32(i), split, epoch)
-		if err != nil {
-			return []sampleOutcome{{err: fmt.Errorf("trainsim: fetch sample %d: %w", i, err)}}
-		}
-		t.observeFetch(time.Since(fetchStart), 1, res.WireBytes)
-		return []sampleOutcome{t.finishSample(res, epoch, i, split, collector, computeSem)}
-	}
-	samples := make([]uint32, len(chunk))
-	splits := make([]int, len(chunk))
+// fetchedChunk carries one chunk's fetch results from the fetch stage to
+// the preprocessing stage.
+type fetchedChunk struct {
+	chunk  []int
+	splits []int
+	items  []storage.FetchResult
+	err    error // transport-level failure for the whole chunk
+}
+
+// fetchChunk issues one round trip for the chunk (a single Fetch, or a
+// FetchBatch when batching is enabled) over the shared session.
+func (t *Trainer) fetchChunk(ctx context.Context, epoch uint64, chunk []int, plan *policy.Plan, collector *profiler.Collector) fetchedChunk {
+	fc := fetchedChunk{chunk: chunk, splits: make([]int, len(chunk))}
 	for k, i := range chunk {
-		samples[k] = uint32(i)
-		splits[k] = t.splitFor(i, plan, collector)
+		fc.splits[k] = t.splitFor(i, plan, collector)
 	}
 	fetchStart := time.Now()
-	fetched, err := client.FetchBatch(samples, splits, epoch)
+	if len(chunk) == 1 {
+		res, err := t.client.Fetch(ctx, uint32(chunk[0]), fc.splits[0], epoch)
+		if err != nil {
+			fc.err = fmt.Errorf("trainsim: fetch sample %d: %w", chunk[0], err)
+			return fc
+		}
+		t.observeFetch(time.Since(fetchStart), 1, res.WireBytes)
+		fc.items = []storage.FetchResult{res}
+		return fc
+	}
+	samples := make([]uint32, len(chunk))
+	for k, i := range chunk {
+		samples[k] = uint32(i)
+	}
+	items, err := t.client.FetchBatch(ctx, samples, fc.splits, epoch)
 	if err != nil {
-		return []sampleOutcome{{err: fmt.Errorf("trainsim: batch fetch: %w", err)}}
+		fc.err = fmt.Errorf("trainsim: batch fetch: %w", err)
+		return fc
 	}
 	var batchBytes int
-	for _, res := range fetched {
+	for _, res := range items {
 		batchBytes += res.WireBytes
 	}
-	t.observeFetch(time.Since(fetchStart), len(fetched), batchBytes)
-	outs := make([]sampleOutcome, len(chunk))
-	for k, i := range chunk {
-		outs[k] = t.finishSample(fetched[k], epoch, i, splits[k], collector, computeSem)
-		if outs[k].err != nil {
-			return outs[:k+1]
+	t.observeFetch(time.Since(fetchStart), len(items), batchBytes)
+	fc.items = items
+	return fc
+}
+
+// processFetched finishes each sample of a fetched chunk locally. A
+// per-item fetch error (surfaced in FetchResult.Err after the retry layer
+// gave up) fails that sample; processing stops at the first failure.
+func (t *Trainer) processFetched(ctx context.Context, fc fetchedChunk, epoch uint64, collector *profiler.Collector, computeSem chan struct{}) []sampleOutcome {
+	if fc.err != nil {
+		return []sampleOutcome{{err: fc.err}}
+	}
+	outs := make([]sampleOutcome, 0, len(fc.chunk))
+	for k, i := range fc.chunk {
+		if ctx.Err() != nil {
+			return outs
+		}
+		res := fc.items[k]
+		if res.Err != nil {
+			return append(outs, sampleOutcome{err: fmt.Errorf("trainsim: fetch sample %d: %w", i, res.Err)})
+		}
+		out := t.finishSample(res, epoch, i, fc.splits[k], collector, computeSem)
+		outs = append(outs, out)
+		if out.err != nil {
+			return outs
 		}
 	}
 	return outs

@@ -1,6 +1,7 @@
 package trainsim
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -183,7 +184,7 @@ func serverStats(t testing.TB, h *harness) (out struct {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	s, err := c.Stats()
+	s, err := c.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

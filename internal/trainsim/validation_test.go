@@ -1,6 +1,7 @@
 package trainsim
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/dataset"
@@ -81,11 +82,11 @@ func TestValidationPipelineEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	a, err := c.Fetch(3, 3, 1)
+	a, err := c.Fetch(context.Background(), 3, 3, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := c.Fetch(3, 3, 2)
+	b, err := c.Fetch(context.Background(), 3, 3, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,9 +18,9 @@ func FuzzRead(f *testing.F) {
 	seed(&HelloAck{Version: 1, DatasetName: "openimages", NumSamples: 40000})
 	seed(&Fetch{RequestID: 1, Sample: 2, Split: 3, Epoch: 4})
 	seed(&FetchResp{RequestID: 1, Sample: 2, Status: FetchOK, Artifact: []byte{1, 2, 3}})
-	seed(&StatsReq{})
-	seed(&StatsResp{SamplesServed: 10, BytesSent: 20})
-	seed(&ErrorResp{Code: CodeBadRequest, Message: "no"})
+	seed(&StatsReq{RequestID: 5})
+	seed(&StatsResp{RequestID: 5, SamplesServed: 10, BytesSent: 20})
+	seed(&ErrorResp{RequestID: 6, Code: CodeBadRequest, Message: "no"})
 	seed(&FetchBatch{RequestID: 1, Epoch: 2, Items: []FetchBatchItem{{Sample: 1, Split: 2}}})
 	seed(&FetchBatchResp{RequestID: 1, Items: []FetchBatchRespItem{{Sample: 1, Artifact: []byte{9}}}})
 	f.Add([]byte{})

@@ -5,6 +5,14 @@
 // carries the offload directive — the number of pipeline ops the server
 // should execute before replying — plus the epoch so the server derives the
 // exact augmentation seeds the client would have used locally.
+//
+// Protocol version 2 makes the connection a multiplexed session: every
+// request and response carries a RequestID, responses to distinct requests
+// MAY arrive in any order, and a client correlates them by RequestID alone.
+// A server is free to process requests from one connection concurrently and
+// write whichever response finishes first. RequestID 0 is reserved for
+// connection-level messages (the handshake and fatal ErrorResp frames that
+// are not tied to a specific request).
 package wire
 
 import (
@@ -17,8 +25,10 @@ import (
 
 // Protocol constants.
 const (
-	Magic        = 0x534F5048 // "SOPH"
-	Version      = 1
+	Magic = 0x534F5048 // "SOPH"
+	// Version 2: responses carry RequestIDs everywhere (including Stats and
+	// Error frames) and may be delivered out of order.
+	Version      = 2
 	frameHeader  = 10
 	MaxFrameSize = 64 << 20 // generous bound: a 224² tensor is ~600 KB
 )
@@ -121,10 +131,13 @@ type FetchResp struct {
 }
 
 // StatsReq asks the server for its counters.
-type StatsReq struct{}
+type StatsReq struct {
+	RequestID uint64
+}
 
 // StatsResp reports server-side accounting.
 type StatsResp struct {
+	RequestID      uint64
 	SamplesServed  uint64
 	OpsExecuted    uint64
 	BytesSent      uint64
@@ -140,10 +153,13 @@ const (
 	CodeInternal
 )
 
-// ErrorResp reports a protocol-level failure.
+// ErrorResp reports a protocol-level failure. RequestID ties the error to a
+// specific in-flight request; 0 means the whole connection is poisoned (bad
+// handshake, unparseable frame) and the peer should tear it down.
 type ErrorResp struct {
-	Code    ErrCode
-	Message string
+	RequestID uint64
+	Code      ErrCode
+	Message   string
 }
 
 func (*Hello) Type() MsgType     { return TypeHello }
@@ -241,53 +257,63 @@ func (m *FetchResp) decodePayload(p []byte) error {
 	return nil
 }
 
-func (*StatsReq) encodePayload() []byte { return nil }
-func (*StatsReq) decodePayload(p []byte) error {
-	if len(p) != 0 {
+func (m *StatsReq) encodePayload() []byte {
+	p := make([]byte, 8)
+	binary.BigEndian.PutUint64(p[0:8], m.RequestID)
+	return p
+}
+
+func (m *StatsReq) decodePayload(p []byte) error {
+	if len(p) != 8 {
 		return ErrTruncated
 	}
+	m.RequestID = binary.BigEndian.Uint64(p[0:8])
 	return nil
 }
 
 func (m *StatsResp) encodePayload() []byte {
-	p := make([]byte, 32)
-	binary.BigEndian.PutUint64(p[0:8], m.SamplesServed)
-	binary.BigEndian.PutUint64(p[8:16], m.OpsExecuted)
-	binary.BigEndian.PutUint64(p[16:24], m.BytesSent)
-	binary.BigEndian.PutUint64(p[24:32], m.ServerCPUNanos)
+	p := make([]byte, 40)
+	binary.BigEndian.PutUint64(p[0:8], m.RequestID)
+	binary.BigEndian.PutUint64(p[8:16], m.SamplesServed)
+	binary.BigEndian.PutUint64(p[16:24], m.OpsExecuted)
+	binary.BigEndian.PutUint64(p[24:32], m.BytesSent)
+	binary.BigEndian.PutUint64(p[32:40], m.ServerCPUNanos)
 	return p
 }
 
 func (m *StatsResp) decodePayload(p []byte) error {
-	if len(p) != 32 {
+	if len(p) != 40 {
 		return ErrTruncated
 	}
-	m.SamplesServed = binary.BigEndian.Uint64(p[0:8])
-	m.OpsExecuted = binary.BigEndian.Uint64(p[8:16])
-	m.BytesSent = binary.BigEndian.Uint64(p[16:24])
-	m.ServerCPUNanos = binary.BigEndian.Uint64(p[24:32])
+	m.RequestID = binary.BigEndian.Uint64(p[0:8])
+	m.SamplesServed = binary.BigEndian.Uint64(p[8:16])
+	m.OpsExecuted = binary.BigEndian.Uint64(p[16:24])
+	m.BytesSent = binary.BigEndian.Uint64(p[24:32])
+	m.ServerCPUNanos = binary.BigEndian.Uint64(p[32:40])
 	return nil
 }
 
 func (m *ErrorResp) encodePayload() []byte {
 	msg := []byte(m.Message)
-	p := make([]byte, 2+2+len(msg))
-	binary.BigEndian.PutUint16(p[0:2], uint16(m.Code))
-	binary.BigEndian.PutUint16(p[2:4], uint16(len(msg)))
-	copy(p[4:], msg)
+	p := make([]byte, 8+2+2+len(msg))
+	binary.BigEndian.PutUint64(p[0:8], m.RequestID)
+	binary.BigEndian.PutUint16(p[8:10], uint16(m.Code))
+	binary.BigEndian.PutUint16(p[10:12], uint16(len(msg)))
+	copy(p[12:], msg)
 	return p
 }
 
 func (m *ErrorResp) decodePayload(p []byte) error {
-	if len(p) < 4 {
+	if len(p) < 12 {
 		return ErrTruncated
 	}
-	m.Code = ErrCode(binary.BigEndian.Uint16(p[0:2]))
-	n := int(binary.BigEndian.Uint16(p[2:4]))
-	if len(p) != 4+n {
+	m.RequestID = binary.BigEndian.Uint64(p[0:8])
+	m.Code = ErrCode(binary.BigEndian.Uint16(p[8:10]))
+	n := int(binary.BigEndian.Uint16(p[10:12]))
+	if len(p) != 12+n {
 		return ErrTruncated
 	}
-	m.Message = string(p[4 : 4+n])
+	m.Message = string(p[12 : 12+n])
 	return nil
 }
 

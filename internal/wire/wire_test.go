@@ -72,16 +72,19 @@ func TestFetchRespEmptyArtifact(t *testing.T) {
 }
 
 func TestStatsRoundTrip(t *testing.T) {
-	roundTrip(t, &StatsReq{})
-	got := roundTrip(t, &StatsResp{SamplesServed: 1, OpsExecuted: 2, BytesSent: 3, ServerCPUNanos: 4}).(*StatsResp)
-	if got.SamplesServed != 1 || got.OpsExecuted != 2 || got.BytesSent != 3 || got.ServerCPUNanos != 4 {
+	req := roundTrip(t, &StatsReq{RequestID: 42}).(*StatsReq)
+	if req.RequestID != 42 {
+		t.Fatalf("got %+v", req)
+	}
+	got := roundTrip(t, &StatsResp{RequestID: 42, SamplesServed: 1, OpsExecuted: 2, BytesSent: 3, ServerCPUNanos: 4}).(*StatsResp)
+	if got.RequestID != 42 || got.SamplesServed != 1 || got.OpsExecuted != 2 || got.BytesSent != 3 || got.ServerCPUNanos != 4 {
 		t.Fatalf("got %+v", got)
 	}
 }
 
 func TestErrorRespRoundTrip(t *testing.T) {
-	got := roundTrip(t, &ErrorResp{Code: CodeBadRequest, Message: "nope"}).(*ErrorResp)
-	if got.Code != CodeBadRequest || got.Message != "nope" {
+	got := roundTrip(t, &ErrorResp{RequestID: 9, Code: CodeBadRequest, Message: "nope"}).(*ErrorResp)
+	if got.RequestID != 9 || got.Code != CodeBadRequest || got.Message != "nope" {
 		t.Fatalf("got %+v", got)
 	}
 }
@@ -167,10 +170,10 @@ func TestDecodeRejectsWrongPayloadSizes(t *testing.T) {
 	cases := map[string][]byte{
 		"hello short":     mk(TypeHello, make([]byte, 3)),
 		"fetch long":      mk(TypeFetch, make([]byte, 30)),
-		"stats wrong":     mk(TypeStatsResp, make([]byte, 31)),
-		"statsreq extra":  mk(TypeStatsReq, make([]byte, 1)),
+		"stats wrong":     mk(TypeStatsResp, make([]byte, 39)),
+		"statsreq extra":  mk(TypeStatsReq, make([]byte, 9)),
 		"helloack short":  mk(TypeHelloAck, make([]byte, 4)),
-		"error short":     mk(TypeError, make([]byte, 2)),
+		"error short":     mk(TypeError, make([]byte, 10)),
 		"fetchresp short": mk(TypeFetchResp, make([]byte, 10)),
 		"helloack bad len": mk(TypeHelloAck, func() []byte {
 			p := make([]byte, 9)

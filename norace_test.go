@@ -1,0 +1,5 @@
+//go:build !race
+
+package sophon
+
+const raceEnabled = false

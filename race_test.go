@@ -1,0 +1,8 @@
+//go:build race
+
+package sophon
+
+// raceEnabled reports whether this test binary runs under the race
+// detector, whose ~20× CPU slowdown skews the profiler's measured
+// throughputs (the network is unaffected, so the apparent bottleneck moves).
+const raceEnabled = true

@@ -19,6 +19,7 @@
 package sophon
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -282,7 +283,16 @@ type TrainerOptions struct {
 	// FetchBatchSize groups this many samples per storage round trip;
 	// 0 or 1 means per-sample fetches.
 	FetchBatchSize int
-	// RetryAttempts, when > 1, wraps each connection with transparent
+	// PrefetchWindow bounds concurrently in-flight fetch requests on the
+	// shared storage session; zero means 2×Workers.
+	PrefetchWindow int
+	// RequestTimeout bounds each storage round trip; zero means the
+	// client default (30s), negative disables the timeout.
+	RequestTimeout time.Duration
+	// MaxInFlight caps concurrent requests the session admits; zero means
+	// the client default (64).
+	MaxInFlight int
+	// RetryAttempts, when > 1, wraps the session with transparent
 	// reconnect-and-retry (surviving flaky links).
 	RetryAttempts int
 	// RetryBackoff is the pause before each redial.
@@ -313,18 +323,23 @@ func (c *Cluster) NewTrainer(opts TrainerOptions) (*Trainer, error) {
 			return nil, err
 		}
 	}
+	dialSession := func() (*storage.Client, error) {
+		return storage.DialWithOptions(c.addr, storage.ClientOptions{
+			JobID:          opts.JobID,
+			RequestTimeout: opts.RequestTimeout,
+			MaxInFlight:    opts.MaxInFlight,
+		})
+	}
 	dial := func() (trainsim.StorageClient, error) {
 		var client trainsim.StorageClient
 		if opts.RetryAttempts > 1 {
-			rc, err := storage.NewReconnecting(func() (*storage.Client, error) {
-				return c.Dial(opts.JobID)
-			}, opts.RetryAttempts, opts.RetryBackoff, nil)
+			rc, err := storage.NewReconnecting(dialSession, opts.RetryAttempts, opts.RetryBackoff, nil)
 			if err != nil {
 				return nil, err
 			}
 			client = rc
 		} else {
-			sc, err := c.Dial(opts.JobID)
+			sc, err := dialSession()
 			if err != nil {
 				return nil, err
 			}
@@ -345,6 +360,7 @@ func (c *Cluster) NewTrainer(opts TrainerOptions) (*Trainer, error) {
 		JobID:          opts.JobID,
 		Shuffle:        opts.Shuffle,
 		FetchBatchSize: opts.FetchBatchSize,
+		PrefetchWindow: opts.PrefetchWindow,
 	})
 	if err != nil {
 		return nil, err
@@ -360,13 +376,13 @@ type cachingClient struct {
 	cache cache.Cache
 }
 
-func (c cachingClient) Fetch(sample uint32, split int, epoch uint64) (storage.FetchResult, error) {
+func (c cachingClient) Fetch(ctx context.Context, sample uint32, split int, epoch uint64) (storage.FetchResult, error) {
 	if split == 0 {
 		if data, ok := c.cache.Get(sample); ok {
-			return storage.FetchResult{Artifact: pipeline.RawArtifact(data)}, nil
+			return storage.FetchResult{Sample: sample, Artifact: pipeline.RawArtifact(data)}, nil
 		}
 	}
-	res, err := c.inner.Fetch(sample, split, epoch)
+	res, err := c.inner.Fetch(ctx, sample, split, epoch)
 	if err != nil {
 		return storage.FetchResult{}, err
 	}
@@ -376,7 +392,7 @@ func (c cachingClient) Fetch(sample uint32, split int, epoch uint64) (storage.Fe
 	return res, nil
 }
 
-func (c cachingClient) FetchBatch(samples []uint32, splits []int, epoch uint64) ([]storage.FetchResult, error) {
+func (c cachingClient) FetchBatch(ctx context.Context, samples []uint32, splits []int, epoch uint64) ([]storage.FetchResult, error) {
 	out := make([]storage.FetchResult, len(samples))
 	var missS []uint32
 	var missSp []int
@@ -384,7 +400,7 @@ func (c cachingClient) FetchBatch(samples []uint32, splits []int, epoch uint64) 
 	for i := range samples {
 		if splits[i] == 0 {
 			if data, ok := c.cache.Get(samples[i]); ok {
-				out[i] = storage.FetchResult{Artifact: pipeline.RawArtifact(data)}
+				out[i] = storage.FetchResult{Sample: samples[i], Artifact: pipeline.RawArtifact(data)}
 				continue
 			}
 		}
@@ -393,13 +409,13 @@ func (c cachingClient) FetchBatch(samples []uint32, splits []int, epoch uint64) 
 		missI = append(missI, i)
 	}
 	if len(missS) > 0 {
-		fetched, err := c.inner.FetchBatch(missS, missSp, epoch)
+		fetched, err := c.inner.FetchBatch(ctx, missS, missSp, epoch)
 		if err != nil {
 			return nil, err
 		}
 		for k, res := range fetched {
 			out[missI[k]] = res
-			if missSp[k] == 0 && res.Artifact.Kind == pipeline.KindRaw {
+			if res.Err == nil && missSp[k] == 0 && res.Artifact.Kind == pipeline.KindRaw {
 				c.cache.Put(missS[k], res.Artifact.Raw)
 			}
 		}
