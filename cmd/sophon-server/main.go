@@ -4,9 +4,16 @@
 // server, optionally behind a token-bucket bandwidth cap (the paper's
 // 500 Mbps link).
 //
+// With -shards K > 1 it runs a sharded storage tier instead: K servers on
+// consecutive ports starting at -addr's port, each owning only the samples
+// the rendezvous-hashed shard map places on it, each with its own core
+// budget and (when -mbps is set) its own shaped link. Point sophon-train's
+// -shard-addrs at the K addresses.
+//
 // Usage:
 //
 //	sophon-server -addr :7070 -n 2000 -cores 4 -mbps 500
+//	sophon-server -addr :7070 -n 2000 -cores 4 -mbps 500 -shards 4
 package main
 
 import (
@@ -16,8 +23,11 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"sync"
 	"syscall"
 
+	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/monitor"
 	"repro/internal/netsim"
@@ -25,8 +35,26 @@ import (
 	"repro/internal/storage"
 )
 
+// validateFlags rejects flag values that would otherwise misbehave
+// silently. Flags where 0 means "use the default" are only rejected when
+// the user set them explicitly.
+func validateFlags(logger *log.Logger, positive map[string]bool, zeroMeansDefault map[string]bool, values map[string]int) {
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	for name, v := range values {
+		switch {
+		case positive[name] && v <= 0:
+			logger.Fatalf("-%s must be positive, got %d", name, v)
+		case zeroMeansDefault[name] && v < 0:
+			logger.Fatalf("-%s must be non-negative, got %d", name, v)
+		case zeroMeansDefault[name] && v == 0 && explicit[name]:
+			logger.Fatalf("-%s must be positive when set explicitly (omit it for the default)", name)
+		}
+	}
+}
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address (shard i listens on port+i)")
 	dataDir := flag.String("data-dir", "", "serve a datagen-written dataset directory instead of synthesizing")
 	n := flag.Int("n", 1000, "number of synthetic samples to materialize")
 	seed := flag.Uint64("seed", 1, "dataset seed")
@@ -34,15 +62,23 @@ func main() {
 	minDim := flag.Int("min-dim", 80, "smallest image side (px)")
 	maxDim := flag.Int("max-dim", 480, "largest image side (px)")
 	crop := flag.Int("crop", 224, "RandomResizedCrop output side")
-	cores := flag.Int("cores", 4, "storage CPU cores for offloaded preprocessing (0 disables)")
+	cores := flag.Int("cores", 4, "storage CPU cores per shard for offloaded preprocessing (0 disables)")
 	slowdown := flag.Float64("slowdown", 1, "storage CPU slowdown factor (>= 1)")
-	mbps := flag.Float64("mbps", 0, "cap outbound bandwidth (Mbit/s; 0 = unshaped)")
+	mbps := flag.Float64("mbps", 0, "cap each shard's outbound bandwidth (Mbit/s; 0 = unshaped)")
 	httpAddr := flag.String("http", "", "serve /healthz, /stats, /metrics on this address (empty = disabled)")
 	idle := flag.Duration("idle-timeout", 0, "drop connections idle for this long (0 = never)")
 	maxInFlight := flag.Int("max-inflight", 0, "max concurrently handled requests per connection (0 = default 32)")
+	shards := flag.Int("shards", 1, "number of shard servers (rendezvous-hashed sample placement)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "sophon-server: ", log.LstdFlags)
+	validateFlags(logger,
+		map[string]bool{"n": true, "shards": true},
+		map[string]bool{"max-inflight": true},
+		map[string]int{"n": *n, "shards": *shards, "max-inflight": *maxInFlight})
+	if *cores < 0 {
+		logger.Fatalf("-cores must be non-negative, got %d", *cores)
+	}
 
 	var store *storage.Store
 	if *dataDir != "" {
@@ -74,35 +110,79 @@ func main() {
 	}
 	logger.Printf("store ready: %d objects, %.1f MB", store.N(), float64(store.TotalBytes())/1e6)
 
-	srv, err := storage.NewServer(storage.ServerConfig{
-		Store:       store,
-		Pipeline:    pipeline.Standard(pipeline.StandardOptions{CropSize: *crop, FlipP: -1}),
-		Cores:       *cores,
-		Slowdown:    *slowdown,
-		IdleTimeout: *idle,
-		MaxInFlight: *maxInFlight,
-		Logger:      logger,
-	})
+	shardMap, err := cluster.NewShardMap(*shards)
 	if err != nil {
 		logger.Fatal(err)
 	}
+	host, portStr, err := net.SplitHostPort(*addr)
+	if err != nil {
+		logger.Fatalf("bad -addr %q: %v", *addr, err)
+	}
+	basePort, err := strconv.Atoi(portStr)
+	if err != nil {
+		logger.Fatalf("bad -addr port %q: %v", portStr, err)
+	}
+	pipe := pipeline.Standard(pipeline.StandardOptions{CropSize: *crop, FlipP: -1})
 
-	inner, err := net.Listen("tcp", *addr)
-	if err != nil {
-		logger.Fatal(err)
-	}
-	var l net.Listener = inner
-	if *mbps > 0 {
-		bucket, err := netsim.NewTokenBucket(netsim.Mbps(*mbps), 256<<10, nil)
+	servers := make([]*storage.Server, *shards)
+	listeners := make([]net.Listener, *shards)
+	counters := make([]*storage.Counters, *shards)
+	for s := 0; s < *shards; s++ {
+		shardStore := store
+		if *shards > 1 {
+			owned := shardMap.Owned(store.N(), s)
+			objects := make(map[uint32][]byte, len(owned))
+			for _, id := range owned {
+				b, err := store.Get(id)
+				if err != nil {
+					logger.Fatal(err)
+				}
+				objects[id] = b
+			}
+			shardStore, err = storage.NewPartialStore(
+				fmt.Sprintf("%s/shard-%d-of-%d", store.Name(), s, *shards), store.N(), objects)
+			if err != nil {
+				logger.Fatal(err)
+			}
+		}
+		srv, err := storage.NewServer(storage.ServerConfig{
+			Store:       shardStore,
+			Pipeline:    pipe,
+			Cores:       *cores,
+			Slowdown:    *slowdown,
+			IdleTimeout: *idle,
+			MaxInFlight: *maxInFlight,
+			Logger:      logger,
+		})
 		if err != nil {
 			logger.Fatal(err)
 		}
-		l = netsim.ShapeListener(inner, bucket)
-		logger.Printf("link capped at %.0f Mbps", *mbps)
+		shardAddr := net.JoinHostPort(host, strconv.Itoa(basePort+s))
+		inner, err := net.Listen("tcp", shardAddr)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		var l net.Listener = inner
+		if *mbps > 0 {
+			bucket, err := netsim.NewTokenBucket(netsim.Mbps(*mbps), 256<<10, nil)
+			if err != nil {
+				logger.Fatal(err)
+			}
+			l = netsim.ShapeListener(inner, bucket)
+		}
+		servers[s] = srv
+		listeners[s] = l
+		counters[s] = srv.Counters()
+		if *shards > 1 {
+			logger.Printf("shard %d: %d/%d objects on %s", s, shardStore.Owned(), shardStore.N(), inner.Addr())
+		}
+	}
+	if *mbps > 0 {
+		logger.Printf("each shard's link capped at %.0f Mbps", *mbps)
 	}
 
 	if *httpAddr != "" {
-		mon := monitor.New(nil, srv.Counters())
+		mon := monitor.NewMulti(nil, counters...)
 		bound, err := mon.ListenAndServe(*httpAddr)
 		if err != nil {
 			logger.Fatal(err)
@@ -116,15 +196,32 @@ func main() {
 	go func() {
 		<-sig
 		logger.Print("shutting down")
-		srv.Close()
+		for _, srv := range servers {
+			srv.Close()
+		}
 	}()
 
-	logger.Printf("serving %q on %s (%d offload cores)", *name, inner.Addr(), *cores)
-	if err := srv.Serve(l); err != nil && err != storage.ErrServerClosed {
-		logger.Fatal(err)
+	logger.Printf("serving %q on %s (%d shard(s), %d offload cores each)",
+		*name, *addr, *shards, *cores)
+	var wg sync.WaitGroup
+	for s := range servers {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			if err := servers[s].Serve(listeners[s]); err != nil && err != storage.ErrServerClosed {
+				logger.Printf("shard %d: %v", s, err)
+			}
+		}(s)
 	}
-	c := srv.Counters()
+	wg.Wait()
+
+	var served, ops, sent, cpu uint64
+	for _, c := range counters {
+		served += c.SamplesServed.Load()
+		ops += c.OpsExecuted.Load()
+		sent += c.BytesSent.Load()
+		cpu += c.CPUNanos.Load()
+	}
 	fmt.Printf("served %d samples, executed %d ops, sent %.1f MB, burned %.2fs CPU\n",
-		c.SamplesServed.Load(), c.OpsExecuted.Load(),
-		float64(c.BytesSent.Load())/1e6, float64(c.CPUNanos.Load())/1e9)
+		served, ops, float64(sent)/1e6, float64(cpu)/1e9)
 }

@@ -14,7 +14,9 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/gpu"
 	"repro/internal/netsim"
@@ -64,9 +66,21 @@ func main() {
 	prefetch := flag.Int("prefetch", 0, "in-flight fetch requests on the session (0 = 2x workers)")
 	maxInFlight := flag.Int("max-inflight", 0, "max concurrent requests the session admits (0 = default 64)")
 	reqTimeout := flag.Duration("request-timeout", 0, "per-request timeout (0 = default 30s, negative = none)")
+	shardAddrs := flag.String("shard-addrs", "", "comma-separated shard server addresses (overrides -addr; enables the fan-out client)")
+	attempts := flag.Int("attempts", 3, "per-operation tries on each shard session before giving up")
+	backoff := flag.Duration("backoff", 100*time.Millisecond, "pause before each shard redial")
+	degraded := flag.Bool("degraded", false, "degraded mode: skip samples of unreachable shards instead of aborting the epoch")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "sophon-train: ", log.LstdFlags)
+	validateFlags(logger,
+		map[string]bool{"workers": true, "batch": true, "epochs": true, "attempts": true},
+		map[string]bool{"prefetch": true, "max-inflight": true, "fetch-batch": true, "compute-cores": true},
+		map[string]int{
+			"workers": *workers, "batch": *batch, "epochs": *epochs, "attempts": *attempts,
+			"prefetch": *prefetch, "max-inflight": *maxInFlight,
+			"fetch-batch": *fetchBatch, "compute-cores": *computeCores,
+		})
 
 	model, err := gpu.ByName(*modelName)
 	if err != nil {
@@ -77,14 +91,32 @@ func main() {
 		logger.Fatal(err)
 	}
 
+	opts := storage.ClientOptions{
+		JobID:          *jobID,
+		RequestTimeout: *reqTimeout,
+		MaxInFlight:    *maxInFlight,
+	}
+	dial := func() (trainsim.StorageClient, error) {
+		return storage.DialWithOptions(*addr, opts)
+	}
+	nShards := 1
+	if *shardAddrs != "" {
+		addrs := strings.Split(*shardAddrs, ",")
+		for i := range addrs {
+			addrs[i] = strings.TrimSpace(addrs[i])
+			if addrs[i] == "" {
+				logger.Fatalf("-shard-addrs entry %d is empty", i)
+			}
+		}
+		nShards = len(addrs)
+		dial = func() (trainsim.StorageClient, error) {
+			return dialSharded(addrs, opts, *attempts, *backoff, *degraded)
+		}
+		logger.Printf("fan-out client over %d shards (degraded=%v)", nShards, *degraded)
+	}
+
 	trainer, err := trainsim.New(trainsim.Config{
-		DialClient: func() (trainsim.StorageClient, error) {
-			return storage.DialWithOptions(*addr, storage.ClientOptions{
-				JobID:          *jobID,
-				RequestTimeout: *reqTimeout,
-				MaxInFlight:    *maxInFlight,
-			})
-		},
+		DialClient: dial,
 		Workers:        *workers,
 		ComputeCores:   *computeCores,
 		Pipeline:       pipeline.Standard(pipeline.StandardOptions{CropSize: *crop, FlipP: -1}),
@@ -94,6 +126,7 @@ func main() {
 		Shuffle:        true,
 		FetchBatchSize: *fetchBatch,
 		PrefetchWindow: *prefetch,
+		DegradedMode:   *degraded,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -156,6 +189,9 @@ func main() {
 		StorageCores:    *storageCores,
 		StorageSlowdown: 1,
 		GPU:             model,
+		// Per-shard planning: -mbps and -storage-cores describe ONE shard's
+		// link and cores; the engine budgets each shard independently.
+		Shards: nShards,
 	}
 	var plan *policy.Plan
 	if s, ok := pol.(*policy.Sophon); ok {
@@ -183,10 +219,58 @@ func main() {
 	}
 }
 
+// dialSharded builds the fan-out client: one reconnecting session per shard
+// address, routed by the canonical shard map.
+func dialSharded(addrs []string, opts storage.ClientOptions, attempts int, backoff time.Duration, degraded bool) (trainsim.StorageClient, error) {
+	m, err := cluster.NewShardMap(len(addrs))
+	if err != nil {
+		return nil, err
+	}
+	shards := make([]cluster.ShardClient, len(addrs))
+	for i, a := range addrs {
+		a := a
+		rc, err := storage.NewReconnecting(func() (*storage.Client, error) {
+			return storage.DialWithOptions(a, opts)
+		}, attempts, backoff, nil)
+		if err != nil {
+			for _, prev := range shards[:i] {
+				if prev != nil {
+					prev.Close()
+				}
+			}
+			return nil, fmt.Errorf("shard %d (%s): %w", i, a, err)
+		}
+		shards[i] = rc
+	}
+	return cluster.NewShardedClient(m, shards, degraded)
+}
+
+// validateFlags rejects flag values that would otherwise misbehave
+// silently. Flags where 0 means "use the default" are only rejected when
+// the user set them explicitly.
+func validateFlags(logger *log.Logger, positive map[string]bool, zeroMeansDefault map[string]bool, values map[string]int) {
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	for name, v := range values {
+		switch {
+		case positive[name] && v <= 0:
+			logger.Fatalf("-%s must be positive, got %d", name, v)
+		case zeroMeansDefault[name] && v < 0:
+			logger.Fatalf("-%s must be non-negative, got %d", name, v)
+		case zeroMeansDefault[name] && v == 0 && explicit[name]:
+			logger.Fatalf("-%s must be positive when set explicitly (omit it for the default)", name)
+		}
+	}
+}
+
 func printEpoch(e int, r trainsim.EpochReport) {
-	fmt.Printf("epoch %d: %d samples in %v, fetched %.1f MB, offloaded %d, gpu util %.1f%%\n",
+	failed := ""
+	if r.Failed > 0 {
+		failed = fmt.Sprintf(", %d failed", r.Failed)
+	}
+	fmt.Printf("epoch %d: %d samples in %v, fetched %.1f MB, offloaded %d%s, gpu util %.1f%%\n",
 		e, r.Samples, r.Duration.Round(1e6), float64(r.BytesFetched)/1e6,
-		r.Offloaded, 100*r.GPUUtilization)
+		r.Offloaded, failed, 100*r.GPUUtilization)
 }
 
 func maxInt(a, b int) int {

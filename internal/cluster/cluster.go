@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/pipeline"
+	"repro/internal/simclock"
+	"repro/internal/storage"
+)
+
+// Config describes an in-process sharded storage tier.
+type Config struct {
+	// Shards is the server count (≥ 1).
+	Shards int
+	// Store is the full dataset; Launch partitions it so each server owns
+	// only its shard's samples.
+	Store *storage.Store
+	// Pipeline is the preprocessing pipeline every server runs.
+	Pipeline *pipeline.Pipeline
+	// CoresPerShard is each server's offload-CPU budget (0 disables
+	// offloading on every shard).
+	CoresPerShard int
+	// Slowdown models weaker storage CPUs (0 → 1).
+	Slowdown float64
+	// LinkMbps, when positive, caps each shard's outbound link with its own
+	// token bucket — K shards means K independent links, which is the whole
+	// point of sharding the tier.
+	LinkMbps float64
+	// MaxInFlight bounds concurrently handled requests per connection on
+	// each server (0 → storage default).
+	MaxInFlight int
+	// Clock drives the link shapers; nil means real time.
+	Clock simclock.Clock
+	// Logger receives per-server connection errors; nil silences them.
+	Logger *log.Logger
+}
+
+// Cluster is a running set of shard servers reachable over in-memory pipe
+// listeners. It exists for tests, benchmarks, and examples; production
+// deployments run one sophon-server process per shard instead.
+type Cluster struct {
+	m         *ShardMap
+	servers   []*storage.Server
+	listeners []*netsim.PipeListener
+
+	mu     sync.Mutex
+	killed []bool
+}
+
+// Launch partitions cfg.Store by the shard map and starts one server per
+// shard, each behind its own (optionally shaped) listener.
+func Launch(cfg Config) (*Cluster, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("cluster: launch needs a store")
+	}
+	if cfg.Pipeline == nil {
+		return nil, errors.New("cluster: launch needs a pipeline")
+	}
+	m, err := NewShardMap(cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.Store.N()
+	if n < cfg.Shards {
+		return nil, fmt.Errorf("cluster: %d samples cannot populate %d shards", n, cfg.Shards)
+	}
+	c := &Cluster{m: m, killed: make([]bool, cfg.Shards)}
+	for s := 0; s < cfg.Shards; s++ {
+		store, err := shardStore(cfg.Store, m, s)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		srv, err := storage.NewServer(storage.ServerConfig{
+			Store:       store,
+			Pipeline:    cfg.Pipeline,
+			Cores:       cfg.CoresPerShard,
+			Slowdown:    cfg.Slowdown,
+			MaxInFlight: cfg.MaxInFlight,
+			Logger:      cfg.Logger,
+		})
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: shard %d: %w", s, err)
+		}
+		l := netsim.NewPipeListener()
+		var serveL net.Listener = l
+		if cfg.LinkMbps > 0 {
+			bucket, err := netsim.NewTokenBucket(netsim.Mbps(cfg.LinkMbps), 32<<10, cfg.Clock)
+			if err != nil {
+				srv.Close()
+				c.Close()
+				return nil, err
+			}
+			serveL = netsim.ShapeListener(l, bucket)
+		}
+		c.servers = append(c.servers, srv)
+		c.listeners = append(c.listeners, l)
+		go srv.Serve(serveL)
+	}
+	return c, nil
+}
+
+// shardStore builds shard s's partial store from the full dataset.
+func shardStore(full *storage.Store, m *ShardMap, s int) (*storage.Store, error) {
+	owned := m.Owned(full.N(), s)
+	if len(owned) == 0 {
+		return nil, fmt.Errorf("cluster: shard %d owns no samples", s)
+	}
+	objects := make(map[uint32][]byte, len(owned))
+	for _, id := range owned {
+		b, err := full.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		objects[id] = b
+	}
+	name := fmt.Sprintf("%s/shard-%d-of-%d", full.Name(), s, m.Shards())
+	return storage.NewPartialStore(name, full.N(), objects)
+}
+
+// ShardMap returns the cluster's placement map.
+func (c *Cluster) ShardMap() *ShardMap { return c.m }
+
+// Shards returns the server count.
+func (c *Cluster) Shards() int { return len(c.servers) }
+
+// Server returns shard s's server (for counters and direct inspection).
+func (c *Cluster) Server(s int) *storage.Server { return c.servers[s] }
+
+// Counters returns every shard's counters, indexed by shard.
+func (c *Cluster) Counters() []*storage.Counters {
+	out := make([]*storage.Counters, len(c.servers))
+	for i, srv := range c.servers {
+		out[i] = srv.Counters()
+	}
+	return out
+}
+
+// DialShard opens a session to shard s over its in-memory listener.
+func (c *Cluster) DialShard(s int, opts storage.ClientOptions) (*storage.Client, error) {
+	if s < 0 || s >= len(c.listeners) {
+		return nil, fmt.Errorf("cluster: shard %d out of range", s)
+	}
+	conn, err := c.listeners[s].Dial()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial shard %d: %w", s, err)
+	}
+	return storage.NewClientWithOptions(conn, opts)
+}
+
+// NewShardedClient builds the fan-out client: one reconnecting session per
+// shard (attempts tries per operation with backoff between redials),
+// degraded per DegradedMode.
+func (c *Cluster) NewShardedClient(opts storage.ClientOptions, attempts int, backoff time.Duration, degraded bool) (*ShardedClient, error) {
+	shards := make([]ShardClient, len(c.servers))
+	for s := range c.servers {
+		s := s
+		rc, err := storage.NewReconnecting(func() (*storage.Client, error) {
+			return c.DialShard(s, opts)
+		}, attempts, backoff, nil)
+		if err != nil {
+			for _, prev := range shards[:s] {
+				if prev != nil {
+					prev.Close()
+				}
+			}
+			return nil, fmt.Errorf("cluster: shard %d: %w", s, err)
+		}
+		shards[s] = rc
+	}
+	return NewShardedClient(c.m, shards, degraded)
+}
+
+// KillShard abruptly stops shard s — server and listener — so fetches
+// routed to it fail. It models a storage-node crash for degradation tests;
+// idempotent per shard.
+func (c *Cluster) KillShard(s int) error {
+	if s < 0 || s >= len(c.servers) {
+		return fmt.Errorf("cluster: shard %d out of range", s)
+	}
+	c.mu.Lock()
+	dead := c.killed[s]
+	c.killed[s] = true
+	c.mu.Unlock()
+	if dead {
+		return nil
+	}
+	c.listeners[s].Close()
+	return c.servers[s].Close()
+}
+
+// Close stops every shard; idempotent.
+func (c *Cluster) Close() error {
+	var first error
+	for s := range c.servers {
+		if err := c.KillShard(s); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -15,6 +15,7 @@ import (
 	"math/rand/v2"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/policy"
 )
@@ -40,6 +41,11 @@ type Config struct {
 	// ShuffleSeed, when non-zero, permutes the sample visit order the way
 	// a real epoch shuffle does. Zero keeps trace order.
 	ShuffleSeed uint64
+	// Shards simulates a sharded storage tier: K independent storage-CPU
+	// pools (Env.StorageCores each) and K independent links (Env.Bandwidth
+	// each), with every sample served by the shard cluster.ShardMap places
+	// it on. 0 or 1 reproduces the single-server setup exactly.
+	Shards int
 }
 
 // DefaultRequestOverhead approximates the wire package's per-fetch framing
@@ -146,11 +152,29 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, errors.New("engine: plan offloads but storage has 0 cores")
 	}
 
-	var storagePool *multiServer
-	if cfg.Env.StorageCores > 0 {
-		storagePool = newMultiServer(cfg.Env.StorageCores)
+	if cfg.Shards < 0 {
+		return Result{}, fmt.Errorf("engine: shard count %d", cfg.Shards)
 	}
-	link := newMultiServer(1)
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	shardMap, err := cluster.NewShardMap(shards)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// One storage pool and one link PER SHARD: a sample queues only behind
+	// its own shard's work, which is how the sharded tier multiplies both
+	// binding resources.
+	storagePools := make([]*multiServer, shards)
+	links := make([]*multiServer, shards)
+	for s := 0; s < shards; s++ {
+		if cfg.Env.StorageCores > 0 {
+			storagePools[s] = newMultiServer(cfg.Env.StorageCores)
+		}
+		links[s] = newMultiServer(1)
+	}
 	computePool := newMultiServer(cfg.Env.ComputeCores)
 	gpuPool := newMultiServer(cfg.Env.GPUs())
 
@@ -198,20 +222,22 @@ func Run(cfg Config) (Result, error) {
 		}
 		rec := &cfg.Trace.Records[order[i]]
 		split := cfg.Plan.Split(order[i])
+		shard := shardMap.ShardOf(uint32(order[i]))
 
-		// Storage-side prefix under the core budget.
+		// Storage-side prefix under the owning shard's core budget.
 		t := gate
 		if split > 0 {
 			dur := time.Duration(float64(rec.PrefixTime(split)) * cfg.Env.StorageSlowdown)
-			t = storagePool.schedule(t, dur)
+			t = storagePools[shard].schedule(t, dur)
 		}
 
-		// Link transfer, serialized at the configured bandwidth. The RTT
-		// delays the transfer's start but does not occupy the link.
+		// Transfer over the owning shard's link, serialized at the
+		// configured bandwidth. The RTT delays the transfer's start but
+		// does not occupy the link.
 		bytes := rec.StageSizes[split] + int64(overhead)
 		traffic += bytes
 		xfer := time.Duration(float64(bytes) / cfg.Env.Bandwidth * float64(time.Second))
-		t = link.schedule(t+cfg.RTT, xfer)
+		t = links[shard].schedule(t+cfg.RTT, xfer)
 
 		// Local suffix on the compute pool.
 		suffix := rec.TotalTime() - rec.PrefixTime(split)
@@ -231,14 +257,16 @@ func Run(cfg Config) (Result, error) {
 	res := Result{
 		EpochTime:        lastGPUEnd,
 		TrafficBytes:     traffic,
-		LinkBusy:         link.busy,
 		ComputeBusy:      computePool.busy,
 		GPUBusy:          gpuPool.busy,
 		SamplesOffloaded: offloaded,
 		Batches:          batches,
 	}
-	if storagePool != nil {
-		res.StorageBusy = storagePool.busy
+	for s := 0; s < shards; s++ {
+		res.LinkBusy += links[s].busy
+		if storagePools[s] != nil {
+			res.StorageBusy += storagePools[s].busy
+		}
 	}
 	if res.EpochTime > 0 {
 		res.GPUUtilization = float64(res.GPUBusy) / float64(res.EpochTime) / float64(cfg.Env.GPUs())
@@ -253,7 +281,7 @@ func RunPolicy(p policy.Policy, tr *dataset.Trace, env policy.Env, batch int) (R
 	if err != nil {
 		return Result{}, nil, err
 	}
-	res, err := Run(Config{Trace: tr, Plan: plan, Env: env, BatchSize: batch})
+	res, err := Run(Config{Trace: tr, Plan: plan, Env: env, BatchSize: batch, Shards: env.ShardCount()})
 	if err != nil {
 		return Result{}, nil, err
 	}

@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/policy"
+)
+
+// TestRunShardedMatchesSingle: Shards 0 and 1 must simulate the identical
+// epoch — sharding is strictly additive over the seed behaviour.
+func TestRunShardedMatchesSingle(t *testing.T) {
+	tr := openImages(t, 200)
+	plan := noOffPlan(t, tr)
+	base := Config{Trace: tr, Plan: plan, Env: env(0), BatchSize: 32}
+	r0, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := base
+	one.Shards = 1
+	r1, err := Run(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0 != r1 {
+		t.Fatalf("Shards=1 result %+v differs from Shards=0 result %+v", r1, r0)
+	}
+}
+
+func TestRunRejectsNegativeShards(t *testing.T) {
+	tr := openImages(t, 50)
+	if _, err := Run(Config{Trace: tr, Plan: noOffPlan(t, tr), Env: env(0), Shards: -1}); err == nil {
+		t.Fatal("accepted negative shard count")
+	}
+}
+
+// TestRunShardedMonotonic: on a link-bound workload, every added shard adds
+// an independent link, so the simulated epoch must keep getting faster while
+// total traffic stays identical.
+func TestRunShardedMonotonic(t *testing.T) {
+	tr := openImages(t, 400)
+	plan := noOffPlan(t, tr)
+	e := env(0)
+	e.Bandwidth = netsim.Mbps(100) // slow per-shard link: I/O-bound through K=4
+
+	var prev Result
+	for k := 1; k <= 4; k++ {
+		res, err := Run(Config{Trace: tr, Plan: plan, Env: e, BatchSize: 32, Shards: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k > 1 {
+			if res.EpochTime >= prev.EpochTime {
+				t.Errorf("shards=%d: epoch %v not faster than %d-shard %v",
+					k, res.EpochTime, k-1, prev.EpochTime)
+			}
+			if res.TrafficBytes != prev.TrafficBytes {
+				t.Errorf("shards=%d: traffic %d changed from %d — sharding moved bytes",
+					k, res.TrafficBytes, prev.TrafficBytes)
+			}
+		}
+		prev = res
+	}
+}
+
+// TestRunPolicyShardedEnv: RunPolicy must thread Env.Shards through to the
+// simulation — a sharded env on a link-bound workload beats the same env
+// with one shard.
+func TestRunPolicyShardedEnv(t *testing.T) {
+	tr := openImages(t, 300)
+	e := env(8)
+	e.Bandwidth = netsim.Mbps(100)
+	single, _, err := RunPolicy(policy.NoOff{}, tr, e, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Shards = 4
+	sharded, _, err := RunPolicy(policy.NoOff{}, tr, e, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.EpochTime >= single.EpochTime {
+		t.Fatalf("4-shard epoch %v not faster than single-shard %v", sharded.EpochTime, single.EpochTime)
+	}
+}

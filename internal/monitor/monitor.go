@@ -17,10 +17,14 @@ import (
 	"repro/internal/storage"
 )
 
-// Server wires a metrics registry and storage counters into an HTTP mux.
+// Server wires a metrics registry and storage counters into an HTTP mux. It
+// can watch several storage servers at once (one per shard of a sharded
+// deployment): /stats reports both the aggregate and a per-server
+// breakdown, including the live in-flight-request and open-connection
+// gauges.
 type Server struct {
 	registry *metrics.Registry
-	counters *storage.Counters
+	sources  []*storage.Counters
 	start    time.Time
 
 	mu       sync.Mutex
@@ -31,19 +35,43 @@ type Server struct {
 
 // New builds a monitor over the given sources. Either may be nil.
 func New(registry *metrics.Registry, counters *storage.Counters) *Server {
-	return &Server{registry: registry, counters: counters, start: time.Now()}
+	if counters == nil {
+		return NewMulti(registry)
+	}
+	return NewMulti(registry, counters)
 }
 
-// statsSnapshot is the JSON shape of /stats.
+// NewMulti builds a monitor over several storage servers' counters — one
+// entry per shard, in shard order.
+func NewMulti(registry *metrics.Registry, counters ...*storage.Counters) *Server {
+	return &Server{registry: registry, sources: counters, start: time.Now()}
+}
+
+// statsSnapshot is the JSON shape of /stats. The top-level fields aggregate
+// across every watched server; PerServer breaks them out per shard.
 type statsSnapshot struct {
-	UptimeSeconds  float64           `json:"uptime_seconds"`
-	SamplesServed  uint64            `json:"samples_served"`
-	OpsExecuted    uint64            `json:"ops_executed"`
-	BytesSent      uint64            `json:"bytes_sent"`
-	ServerCPUNanos uint64            `json:"server_cpu_nanos"`
-	Counters       map[string]int64  `json:"counters,omitempty"`
-	Gauges         map[string]int64  `json:"gauges,omitempty"`
-	Histograms     map[string]hStats `json:"histograms,omitempty"`
+	UptimeSeconds    float64           `json:"uptime_seconds"`
+	SamplesServed    uint64            `json:"samples_served"`
+	OpsExecuted      uint64            `json:"ops_executed"`
+	BytesSent        uint64            `json:"bytes_sent"`
+	ServerCPUNanos   uint64            `json:"server_cpu_nanos"`
+	InFlightRequests int64             `json:"in_flight_requests"`
+	OpenConnections  int64             `json:"open_connections"`
+	PerServer        []serverSnapshot  `json:"per_server,omitempty"`
+	Counters         map[string]int64  `json:"counters,omitempty"`
+	Gauges           map[string]int64  `json:"gauges,omitempty"`
+	Histograms       map[string]hStats `json:"histograms,omitempty"`
+}
+
+// serverSnapshot is one storage server's slice of /stats.
+type serverSnapshot struct {
+	Server           int    `json:"server"`
+	SamplesServed    uint64 `json:"samples_served"`
+	OpsExecuted      uint64 `json:"ops_executed"`
+	BytesSent        uint64 `json:"bytes_sent"`
+	ServerCPUNanos   uint64 `json:"server_cpu_nanos"`
+	InFlightRequests int64  `json:"in_flight_requests"`
+	OpenConnections  int64  `json:"open_connections"`
 }
 
 type hStats struct {
@@ -55,11 +83,25 @@ type hStats struct {
 
 func (s *Server) snapshot() statsSnapshot {
 	out := statsSnapshot{UptimeSeconds: time.Since(s.start).Seconds()}
-	if s.counters != nil {
-		out.SamplesServed = s.counters.SamplesServed.Load()
-		out.OpsExecuted = s.counters.OpsExecuted.Load()
-		out.BytesSent = s.counters.BytesSent.Load()
-		out.ServerCPUNanos = s.counters.CPUNanos.Load()
+	for i, c := range s.sources {
+		one := serverSnapshot{
+			Server:           i,
+			SamplesServed:    c.SamplesServed.Load(),
+			OpsExecuted:      c.OpsExecuted.Load(),
+			BytesSent:        c.BytesSent.Load(),
+			ServerCPUNanos:   c.CPUNanos.Load(),
+			InFlightRequests: c.InFlight.Load(),
+			OpenConnections:  c.Connections.Load(),
+		}
+		out.SamplesServed += one.SamplesServed
+		out.OpsExecuted += one.OpsExecuted
+		out.BytesSent += one.BytesSent
+		out.ServerCPUNanos += one.ServerCPUNanos
+		out.InFlightRequests += one.InFlightRequests
+		out.OpenConnections += one.OpenConnections
+		if len(s.sources) > 1 {
+			out.PerServer = append(out.PerServer, one)
+		}
 	}
 	if s.registry != nil {
 		snap := s.registry.Snapshot()
@@ -96,6 +138,13 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintf(w, "sophon_ops_executed %d\n", snap.OpsExecuted)
 		fmt.Fprintf(w, "sophon_bytes_sent %d\n", snap.BytesSent)
 		fmt.Fprintf(w, "sophon_server_cpu_nanos %d\n", snap.ServerCPUNanos)
+		fmt.Fprintf(w, "sophon_in_flight_requests %d\n", snap.InFlightRequests)
+		fmt.Fprintf(w, "sophon_open_connections %d\n", snap.OpenConnections)
+		for _, ps := range snap.PerServer {
+			fmt.Fprintf(w, "sophon_server_samples_served{server=\"%d\"} %d\n", ps.Server, ps.SamplesServed)
+			fmt.Fprintf(w, "sophon_server_in_flight_requests{server=\"%d\"} %d\n", ps.Server, ps.InFlightRequests)
+			fmt.Fprintf(w, "sophon_server_open_connections{server=\"%d\"} %d\n", ps.Server, ps.OpenConnections)
+		}
 		if s.registry != nil {
 			fmt.Fprint(w, s.registry.Snapshot().String())
 		}

@@ -1,0 +1,97 @@
+package netsim
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+)
+
+func TestFlakyConnBudget(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := Flaky(a, 4)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 16)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	if _, err := fc.Write([]byte{1, 2}); err != nil {
+		t.Fatalf("write inside budget: %v", err)
+	}
+	if _, err := fc.Write([]byte{3, 4, 5}); !errors.Is(err, ErrInjectedFailure) {
+		t.Fatalf("write past budget: %v, want ErrInjectedFailure", err)
+	}
+	// Once failed, every later operation fails too.
+	if _, err := fc.Write([]byte{6}); !errors.Is(err, ErrInjectedFailure) {
+		t.Fatalf("write after failure: %v", err)
+	}
+	if _, err := fc.Read(make([]byte, 1)); !errors.Is(err, ErrInjectedFailure) {
+		t.Fatalf("read after failure: %v", err)
+	}
+	<-done // peer saw the close
+}
+
+// TestFlakyConnConcurrent hammers one FlakyConn from concurrent readers and
+// writers (run under -race in CI): the byte budget must trip exactly once,
+// every operation after the trip must fail, and the accounting must stay
+// consistent under contention.
+func TestFlakyConnConcurrent(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := Flaky(a, 1<<12)
+	defer fc.Close()
+
+	// The peer echoes everything back so the flaky side has bytes to read.
+	go func() {
+		io.Copy(b, b)
+	}()
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var injected int
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, 64)
+			for i := 0; i < 200; i++ {
+				var err error
+				if g%2 == 0 {
+					_, err = fc.Write(buf)
+				} else {
+					_, err = fc.Read(buf)
+				}
+				if err != nil {
+					if errors.Is(err, ErrInjectedFailure) {
+						mu.Lock()
+						injected++
+						mu.Unlock()
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if injected == 0 {
+		t.Fatal("budget never tripped despite writing far past it")
+	}
+	// After the dust settles the connection is failed for good.
+	if _, err := fc.Write([]byte{1}); !errors.Is(err, ErrInjectedFailure) {
+		t.Fatalf("write after concurrent trip: %v", err)
+	}
+	if _, err := fc.Read(make([]byte, 1)); !errors.Is(err, ErrInjectedFailure) {
+		t.Fatalf("read after concurrent trip: %v", err)
+	}
+}

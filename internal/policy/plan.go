@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/gpu"
 )
@@ -136,6 +137,13 @@ type Env struct {
 	// GPUCount is the number of accelerators sharing the link (the paper's
 	// Discussion: a 400-GPU cluster needs ~200 Gbps). 0 means 1.
 	GPUCount int
+	// Shards is the storage-server count of a sharded tier. With K > 1,
+	// Bandwidth and StorageCores become PER-SHARD quantities: every sample
+	// competes only for its own shard's cores and link (placement follows
+	// cluster.ShardMap), so TCS and TNet are the maxima over per-shard
+	// loads rather than pooled totals. 0 or 1 means the single-server
+	// setup and reproduces the paper's model exactly.
+	Shards int
 }
 
 // Validate checks the environment is usable.
@@ -158,6 +166,9 @@ func (e Env) Validate() error {
 	if e.GPUCount < 0 {
 		return errors.New("policy: GPU count must be non-negative")
 	}
+	if e.Shards < 0 {
+		return errors.New("policy: shard count must be non-negative")
+	}
 	return nil
 }
 
@@ -167,6 +178,14 @@ func (e Env) GPUs() int {
 		return 1
 	}
 	return e.GPUCount
+}
+
+// ShardCount returns the effective storage-server count.
+func (e Env) ShardCount() int {
+	if e.Shards <= 0 {
+		return 1
+	}
+	return e.Shards
 }
 
 // EpochModel holds the paper's four per-epoch cost metrics.
@@ -209,17 +228,33 @@ func (m EpochModel) Dominant() string {
 	return name
 }
 
-// ModelFor evaluates the four metrics for a plan under an environment.
+// ShardLoads returns each shard's planned transfer volume and single-core
+// storage CPU under the canonical cluster placement. With shards == 1 the
+// sums equal Plan.Traffic / Plan.StorageCPU.
+func (p *Plan) ShardLoads(tr *dataset.Trace, shards int) ([]int64, []time.Duration, error) {
+	if len(p.Splits) != tr.N() {
+		return nil, nil, fmt.Errorf("%w: plan %d vs trace %d", ErrPlanMismatch, len(p.Splits), tr.N())
+	}
+	m, err := cluster.NewShardMap(shards)
+	if err != nil {
+		return nil, nil, err
+	}
+	traffic := make([]int64, shards)
+	storageCPU := make([]time.Duration, shards)
+	for i := range tr.Records {
+		s := m.ShardOf(uint32(i))
+		traffic[s] += tr.Records[i].StageSizes[p.Splits[i]]
+		storageCPU[s] += tr.Records[i].PrefixTime(int(p.Splits[i]))
+	}
+	return traffic, storageCPU, nil
+}
+
+// ModelFor evaluates the four metrics for a plan under an environment. With
+// env.Shards > 1 the storage-side metrics are per-shard maxima: each shard
+// serves only its own samples over its own link with its own cores, so the
+// epoch is paced by the most loaded shard, not the pooled average.
 func ModelFor(tr *dataset.Trace, p *Plan, env Env) (EpochModel, error) {
 	if err := env.Validate(); err != nil {
-		return EpochModel{}, err
-	}
-	traffic, err := p.Traffic(tr)
-	if err != nil {
-		return EpochModel{}, err
-	}
-	storageCPU, err := p.StorageCPU(tr)
-	if err != nil {
 		return EpochModel{}, err
 	}
 	computeCPU, err := p.ComputeCPU(tr)
@@ -227,16 +262,26 @@ func ModelFor(tr *dataset.Trace, p *Plan, env Env) (EpochModel, error) {
 		return EpochModel{}, err
 	}
 	m := EpochModel{
-		TG:   env.GPU.EpochTime(tr.N()) / time.Duration(env.GPUs()),
-		TCC:  computeCPU / time.Duration(env.ComputeCores),
-		TNet: time.Duration(float64(traffic) / env.Bandwidth * float64(time.Second)),
+		TG:  env.GPU.EpochTime(tr.N()) / time.Duration(env.GPUs()),
+		TCC: computeCPU / time.Duration(env.ComputeCores),
 	}
-	if storageCPU > 0 {
-		if env.StorageCores == 0 {
-			return EpochModel{}, errors.New("policy: plan offloads but storage has 0 cores")
+	traffic, storageCPU, err := p.ShardLoads(tr, env.ShardCount())
+	if err != nil {
+		return EpochModel{}, err
+	}
+	for s := range traffic {
+		if t := time.Duration(float64(traffic[s]) / env.Bandwidth * float64(time.Second)); t > m.TNet {
+			m.TNet = t
 		}
-		scaled := time.Duration(float64(storageCPU) * env.StorageSlowdown)
-		m.TCS = scaled / time.Duration(env.StorageCores)
+		if storageCPU[s] > 0 {
+			if env.StorageCores == 0 {
+				return EpochModel{}, errors.New("policy: plan offloads but storage has 0 cores")
+			}
+			scaled := time.Duration(float64(storageCPU[s]) * env.StorageSlowdown)
+			if t := scaled / time.Duration(env.StorageCores); t > m.TCS {
+				m.TCS = t
+			}
+		}
 	}
 	return m, nil
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/dataset"
 )
 
@@ -118,26 +119,73 @@ func (s *Sophon) Plan(tr *dataset.Trace, env Env) (*Plan, error) {
 		return ranked[i].ID < ranked[j].ID
 	})
 
-	tg, tcc, tcs, tnet := model.TG, model.TCC, model.TCS, model.TNet
+	// The greedy loop tracks the storage-side metrics PER SHARD: each
+	// candidate's admission relieves only its own shard's link and burns
+	// only its own shard's cores, and a candidate is admitted only while
+	// its shard's T_Net is still the strictly dominant cost. With one
+	// shard this collapses to the paper's scalar loop exactly.
+	shards := env.ShardCount()
+	shardMap, err := cluster.NewShardMap(shards)
+	if err != nil {
+		return nil, err
+	}
+	traffic, _, err := plan.ShardLoads(tr, shards)
+	if err != nil {
+		return nil, err
+	}
+	tg, tcc := model.TG, model.TCC
+	tnet := make([]time.Duration, shards)
+	tcs := make([]time.Duration, shards)
+	for sh, b := range traffic {
+		tnet[sh] = time.Duration(float64(b) / env.Bandwidth * float64(time.Second))
+	}
+	maxOf := func(ds []time.Duration) time.Duration {
+		max := ds[0]
+		for _, d := range ds[1:] {
+			if d > max {
+				max = d
+			}
+		}
+		return max
+	}
+	netDominant := func(sh int) bool {
+		return tnet[sh] > tg && tnet[sh] > tcc && tnet[sh] > tcs[sh]
+	}
+	anyDominant := func() bool {
+		for sh := range tnet {
+			if netDominant(sh) {
+				return true
+			}
+		}
+		return false
+	}
 	storage := time.Duration(env.StorageCores)
 	compute := time.Duration(env.ComputeCores)
 	for _, c := range ranked {
-		if !(tnet > tg && tnet > tcc && tnet > tcs) {
-			break // T_Net is no longer the predominant metric
+		if !anyDominant() {
+			break // no shard's T_Net is the predominant metric anymore
+		}
+		sh := shardMap.ShardOf(uint32(c.ID))
+		if !netDominant(sh) {
+			continue // this sample's shard is already off the critical path
 		}
 		dNet := time.Duration(float64(c.Saving) / env.Bandwidth * float64(time.Second))
 		dCS := time.Duration(float64(c.PrefixCPU)*env.StorageSlowdown) / storage
 		dCC := c.PrefixCPU / compute
 		if s.StepGuard {
-			cur := EpochModel{TG: tg, TCC: tcc, TCS: tcs, TNet: tnet}.Predicted()
-			next := EpochModel{TG: tg, TCC: tcc - dCC, TCS: tcs + dCS, TNet: tnet - dNet}.Predicted()
+			cur := EpochModel{TG: tg, TCC: tcc, TCS: maxOf(tcs), TNet: maxOf(tnet)}.Predicted()
+			tnet[sh] -= dNet
+			tcs[sh] += dCS
+			next := EpochModel{TG: tg, TCC: tcc - dCC, TCS: maxOf(tcs), TNet: maxOf(tnet)}.Predicted()
+			tnet[sh] += dNet
+			tcs[sh] -= dCS
 			if next > cur {
 				continue
 			}
 		}
 		plan.Splits[c.ID] = uint8(c.Split)
-		tnet -= dNet
-		tcs += dCS
+		tnet[sh] -= dNet
+		tcs[sh] += dCS
 		tcc -= dCC
 	}
 	return plan, nil

@@ -134,9 +134,11 @@ func (s *Server) Serve(l net.Listener) error {
 		}
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
+		s.counters.Connections.Add(1)
 		s.mu.Unlock()
 		go func() {
 			defer s.wg.Done()
+			defer s.counters.Connections.Add(-1)
 			s.handleConn(conn)
 			s.mu.Lock()
 			delete(s.conns, conn)
@@ -172,13 +174,13 @@ func (s *Server) logf(format string, args ...interface{}) {
 	}
 }
 
-// send writes a message and charges its frame size to the traffic counter.
+// send writes a message, charging its frame size to the traffic counter
+// before the write: a frame the client has received is then always covered
+// by any stats snapshot taken afterwards, so byte counts read through the
+// Stats RPC are monotone with respect to what the client observed.
 func (s *Server) send(conn net.Conn, m wire.Message) error {
-	if err := wire.Write(conn, m); err != nil {
-		return err
-	}
 	s.counters.BytesSent.Add(uint64(wire.FrameSize(m)))
-	return nil
+	return wire.Write(conn, m)
 }
 
 func (s *Server) handleConn(conn net.Conn) {
@@ -243,9 +245,11 @@ func (s *Server) handleConn(conn net.Conn) {
 	dispatch := func(handle func() wire.Message) {
 		sem <- struct{}{}
 		wg.Add(1)
+		s.counters.InFlight.Add(1)
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
+			defer s.counters.InFlight.Add(-1)
 			respCh <- handle()
 		}()
 	}

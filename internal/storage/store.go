@@ -14,9 +14,13 @@ import (
 )
 
 // Store is an immutable in-memory object store: sample ID → stored bytes.
+// A store may be partial (see NewPartialStore): it spans the full sample ID
+// space of a dataset but holds objects for only a subset — the shape of one
+// shard of a sharded storage tier.
 type Store struct {
 	name       string
 	objects    [][]byte
+	owned      int
 	totalBytes int64
 }
 
@@ -36,7 +40,33 @@ func NewStore(name string, objects [][]byte) (*Store, error) {
 		}
 		total += int64(len(o))
 	}
-	return &Store{name: name, objects: objects, totalBytes: total}, nil
+	return &Store{name: name, objects: objects, owned: len(objects), totalBytes: total}, nil
+}
+
+// NewPartialStore builds a store spanning sample IDs [0, n) that owns only
+// the objects in own (ID → bytes). Lookups of unowned IDs return
+// ErrNotFound; N() still reports n so every shard of a cluster agrees on
+// the dataset size during the handshake.
+func NewPartialStore(name string, n int, own map[uint32][]byte) (*Store, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("storage: partial store needs n > 0, got %d", n)
+	}
+	if len(own) == 0 {
+		return nil, errors.New("storage: partial store owns no objects")
+	}
+	objects := make([][]byte, n)
+	var total int64
+	for id, o := range own {
+		if int(id) >= n {
+			return nil, fmt.Errorf("storage: owned sample %d outside [0, %d)", id, n)
+		}
+		if len(o) == 0 {
+			return nil, fmt.Errorf("storage: object %d is empty", id)
+		}
+		objects[id] = o
+		total += int64(len(o))
+	}
+	return &Store{name: name, objects: objects, owned: len(own), totalBytes: total}, nil
 }
 
 // FromImageSet materializes a synthetic image set into a store — the
@@ -52,26 +82,34 @@ func FromImageSet(s *dataset.ImageSet) (*Store, error) {
 // Name returns the dataset name.
 func (s *Store) Name() string { return s.name }
 
-// N returns the number of objects.
+// N returns the number of sample IDs the store spans (for a partial store,
+// the full dataset size, not the owned count).
 func (s *Store) N() int { return len(s.objects) }
 
-// TotalBytes returns the summed stored size.
+// Owned returns how many objects the store actually holds.
+func (s *Store) Owned() int { return s.owned }
+
+// TotalBytes returns the summed stored size of the owned objects.
 func (s *Store) TotalBytes() int64 { return s.totalBytes }
 
 // Get returns the stored bytes of sample id. The returned slice is shared;
 // callers must not mutate it.
 func (s *Store) Get(id uint32) ([]byte, error) {
-	if int(id) >= len(s.objects) {
+	if int(id) >= len(s.objects) || s.objects[id] == nil {
 		return nil, fmt.Errorf("%w: sample %d of %d", ErrNotFound, id, len(s.objects))
 	}
 	return s.objects[id], nil
 }
 
 // Counters aggregates server-side accounting shared by the executor and the
-// connection handlers.
+// connection handlers. The Uint64 fields are monotone counters; InFlight and
+// Connections are gauges (they go down as requests complete and connections
+// close), so a monitor can watch each server of a sharded deployment live.
 type Counters struct {
 	SamplesServed atomic.Uint64
 	OpsExecuted   atomic.Uint64
 	BytesSent     atomic.Uint64
 	CPUNanos      atomic.Uint64
+	InFlight      atomic.Int64
+	Connections   atomic.Int64
 }

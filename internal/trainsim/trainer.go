@@ -66,9 +66,15 @@ type Config struct {
 	// (capped at wire.MaxBatchItems); 0 or 1 means per-sample fetches.
 	FetchBatchSize int
 	// Metrics, when non-nil, receives per-sample instrumentation:
-	// counters trainer.samples / trainer.bytes_fetched / trainer.epochs,
-	// histograms trainer.fetch_seconds / trainer.preprocess_seconds.
+	// counters trainer.samples / trainer.bytes_fetched / trainer.epochs /
+	// trainer.samples_failed, histograms trainer.fetch_seconds /
+	// trainer.preprocess_seconds.
 	Metrics *metrics.Registry
+	// DegradedMode keeps an epoch alive through per-sample fetch failures
+	// (e.g. a dead shard of a sharded storage tier): failed samples are
+	// skipped and counted in EpochReport.Failed instead of aborting the
+	// epoch. An epoch in which every sample fails still errors.
+	DegradedMode bool
 }
 
 // Trainer runs training epochs against a storage server.
@@ -91,6 +97,9 @@ type EpochReport struct {
 	GPUUtilization float64
 	Offloaded      int
 	LocalCPU       time.Duration // summed local preprocessing time
+	// Failed counts samples skipped in DegradedMode (fetches that kept
+	// failing after the retry layer gave up, e.g. on a dead shard).
+	Failed int
 }
 
 // New validates the config and dials one client per worker.
@@ -184,6 +193,7 @@ type sampleOutcome struct {
 	wireBytes int
 	localCPU  time.Duration
 	offloaded bool
+	failed    bool // degraded-mode skip, not a fatal error
 	err       error
 }
 
@@ -290,6 +300,13 @@ func (t *Trainer) RunEpoch(epoch uint64, plan *policy.Plan, collector *profiler.
 			}
 			continue
 		}
+		if out.failed {
+			report.Failed++
+			if t.cfg.Metrics != nil {
+				t.cfg.Metrics.Counter("trainer.samples_failed").Inc()
+			}
+			continue
+		}
 		report.Samples++
 		report.BytesFetched += int64(out.wireBytes)
 		report.LocalCPU += out.localCPU
@@ -304,6 +321,9 @@ func (t *Trainer) RunEpoch(epoch uint64, plan *policy.Plan, collector *profiler.
 	}
 	if firstErr != nil {
 		return EpochReport{}, firstErr
+	}
+	if report.Samples == 0 && report.Failed > 0 {
+		return EpochReport{}, fmt.Errorf("trainsim: all %d samples failed in degraded mode", report.Failed)
 	}
 	if inBatch > 0 {
 		t.gpuStep(&report, inBatch)
@@ -380,9 +400,20 @@ func (t *Trainer) fetchChunk(ctx context.Context, epoch uint64, chunk []int, pla
 
 // processFetched finishes each sample of a fetched chunk locally. A
 // per-item fetch error (surfaced in FetchResult.Err after the retry layer
-// gave up) fails that sample; processing stops at the first failure.
+// gave up) fails that sample; processing stops at the first failure. In
+// DegradedMode failures instead skip just the affected samples — a chunk
+// whose whole round trip failed marks every one of its samples failed, and
+// a per-item error marks only that sample — so a dead shard costs exactly
+// its own samples, never the epoch.
 func (t *Trainer) processFetched(ctx context.Context, fc fetchedChunk, epoch uint64, collector *profiler.Collector, computeSem chan struct{}) []sampleOutcome {
 	if fc.err != nil {
+		if t.cfg.DegradedMode {
+			outs := make([]sampleOutcome, len(fc.chunk))
+			for k := range outs {
+				outs[k] = sampleOutcome{failed: true}
+			}
+			return outs
+		}
 		return []sampleOutcome{{err: fc.err}}
 	}
 	outs := make([]sampleOutcome, 0, len(fc.chunk))
@@ -392,6 +423,10 @@ func (t *Trainer) processFetched(ctx context.Context, fc fetchedChunk, epoch uin
 		}
 		res := fc.items[k]
 		if res.Err != nil {
+			if t.cfg.DegradedMode {
+				outs = append(outs, sampleOutcome{failed: true})
+				continue
+			}
 			return append(outs, sampleOutcome{err: fmt.Errorf("trainsim: fetch sample %d: %w", i, res.Err)})
 		}
 		out := t.finishSample(res, epoch, i, fc.splits[k], collector, computeSem)

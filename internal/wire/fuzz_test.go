@@ -44,3 +44,52 @@ func FuzzRead(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecode checks the codec is canonical: any frame the parser accepts
+// must re-encode to a stable fixed point — encoding, re-parsing, and
+// encoding again yields byte-identical frames — and FrameSize must agree
+// with the bytes actually produced. The multiplexer trusts FrameSize for
+// traffic accounting, so drift here silently corrupts the byte counters.
+func FuzzDecode(f *testing.F) {
+	seed := func(m Message) {
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err == nil {
+			f.Add(buf.Bytes())
+		}
+	}
+	seed(&Hello{Version: Version, JobID: 1})
+	seed(&HelloAck{Version: Version, DatasetName: "d", NumSamples: 3})
+	seed(&Fetch{RequestID: 9, Sample: 8, Split: 7, Epoch: 6})
+	seed(&FetchResp{RequestID: 9, Sample: 8, Status: FetchNotFound})
+	seed(&FetchBatch{RequestID: 2, Epoch: 1, Items: []FetchBatchItem{{Sample: 4}, {Sample: 5, Split: 1}}})
+	seed(&FetchBatchResp{RequestID: 2, Items: []FetchBatchRespItem{{Sample: 4, Status: FetchOK, Artifact: []byte{1}}}})
+	seed(&StatsReq{RequestID: 3})
+	seed(&StatsResp{RequestID: 3, OpsExecuted: 11, ServerCPUNanos: 12})
+	seed(&ErrorResp{Code: CodeInternal, Message: "boom"})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var first bytes.Buffer
+		if err := Write(&first, msg); err != nil {
+			t.Fatalf("accepted message failed to encode: %v", err)
+		}
+		if got, want := first.Len(), FrameSize(msg); got != want {
+			t.Fatalf("FrameSize says %d, encoder wrote %d bytes", want, got)
+		}
+		again, err := Read(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical frame failed to parse: %v", err)
+		}
+		var second bytes.Buffer
+		if err := Write(&second, again); err != nil {
+			t.Fatalf("re-parsed message failed to encode: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("encoding not canonical:\n first %x\nsecond %x", first.Bytes(), second.Bytes())
+		}
+	})
+}
