@@ -4,20 +4,57 @@
 // Usage:
 //
 //	sophon-bench [-seed N] [-openimages N] [-imagenet N] [-o report.txt]
+//	sophon-bench -json bench.json
 //
 // With no size overrides the datasets run at paper scale (40 000 OpenImages
 // samples, 91 000 ImageNet samples); the whole suite still completes in a
 // few seconds because the evaluation replays profiled traces through the
 // discrete-event engine.
+//
+// With -json the command instead runs the data-plane micro-benchmark suite
+// (codec, fused tensor kernel, pipeline, wire framing) and writes one BENCH
+// record per kernel — ns/op, B/op, allocs/op, MB/s — to the given file, then
+// exits without running the evaluation. These records are the input to the
+// allocation-regression tracking in BENCH_pr3.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/eval"
+	"repro/internal/perfbench"
 )
+
+type benchReport struct {
+	Kind      string             `json:"kind"` // always "BENCH"
+	GoVersion string             `json:"go_version"`
+	GOOS      string             `json:"goos"`
+	GOARCH    string             `json:"goarch"`
+	Results   []perfbench.Result `json:"results"`
+}
+
+func writeBenchJSON(path string) error {
+	results, err := perfbench.Run()
+	if err != nil {
+		return err
+	}
+	report := benchReport{
+		Kind:      "BENCH",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Results:   results,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
 
 func main() {
 	seed := flag.Uint64("seed", 2024, "random seed for dataset generation")
@@ -25,7 +62,17 @@ func main() {
 	imageNet := flag.Int("imagenet", 0, "ImageNet sample-count override (0 = paper scale, 91000)")
 	out := flag.String("o", "", "write the report to this file instead of stdout")
 	csvDir := flag.String("csv", "", "also write one CSV per table into this directory")
+	jsonOut := flag.String("json", "", "run the data-plane micro-benchmarks and write BENCH records to this file (skips the evaluation)")
 	flag.Parse()
+
+	if *jsonOut != "" {
+		if err := writeBenchJSON(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "sophon-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "sophon-bench: BENCH records written to %s\n", *jsonOut)
+		return
+	}
 
 	w := os.Stdout
 	if *out != "" {

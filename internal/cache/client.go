@@ -43,6 +43,9 @@ func (f *FetchingCache) Fetch(ctx context.Context, sample uint32, split int, epo
 		return storage.FetchResult{}, err
 	}
 	if split == 0 && res.Artifact.Kind == pipeline.KindRaw {
+		// Safe to retain: raw artifact payloads are decoded into plain owned
+		// memory, never pool-backed buffers (see pipeline.DecodeArtifact), so
+		// the cache cannot alias memory the arena might hand out again.
 		f.cache.Put(sample, res.Artifact.Raw)
 	}
 	return res, nil
@@ -80,6 +83,7 @@ func (f *FetchingCache) FetchBatch(ctx context.Context, samples []uint32, splits
 			i := missIdx[k]
 			out[i] = res
 			if res.Err == nil && missSplits[k] == 0 && res.Artifact.Kind == pipeline.KindRaw {
+				// Raw payloads are plain owned memory (never pooled); see Fetch.
 				f.cache.Put(missSamples[k], res.Artifact.Raw)
 			}
 		}

@@ -38,9 +38,11 @@ func BenchmarkDecode640x480(b *testing.B) {
 	b.SetBytes(int64(len(data)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Decode(data); err != nil {
+		out, err := Decode(data)
+		if err != nil {
 			b.Fatal(err)
 		}
+		out.Release()
 	}
 }
 

@@ -8,6 +8,9 @@ import (
 	"fmt"
 	"image/color"
 	"io"
+	"sync"
+
+	"repro/internal/bufpool"
 )
 
 // SJPG is a real lossy image codec standing in for JPEG. The encoder
@@ -45,21 +48,66 @@ func shifts(quality int) (yShift, cShift uint) {
 	}
 }
 
+// Scratch pools for the codec hot path: the DEFLATE coders carry large
+// internal state (tens of KB each) and are reset between uses; the plane and
+// accumulator scratch comes from the bufpool arena.
+var (
+	flateWriterPool = sync.Pool{New: func() any {
+		zw, err := flate.NewWriter(io.Discard, flate.DefaultCompression)
+		if err != nil {
+			panic(err) // DefaultCompression is always a valid level
+		}
+		return zw
+	}}
+	flateReaderPool = sync.Pool{New: func() any {
+		return &pooledReader{br: bytes.NewReader(nil), zr: flate.NewReader(bytes.NewReader(nil))}
+	}}
+	encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+)
+
+// pooledReader bundles a reusable bytes.Reader with a resettable DEFLATE
+// decompressor so Decode performs no per-call codec-state allocation.
+type pooledReader struct {
+	br *bytes.Reader
+	zr io.ReadCloser
+}
+
+func (p *pooledReader) reset(data []byte) {
+	p.br.Reset(data)
+	// flate.NewReader's concrete type always implements Resetter.
+	p.zr.(flate.Resetter).Reset(p.br, nil)
+}
+
+// release drops the reference to the caller's data (so pooling the reader
+// cannot pin a decoded stream in memory) and returns it to the pool.
+func (p *pooledReader) release() {
+	p.br.Reset(nil)
+	flateReaderPool.Put(p)
+}
+
 // Encode compresses im at the given quality (1..100) and returns the SJPG
-// byte stream.
+// byte stream. The returned slice is freshly allocated and owned by the
+// caller; all codec scratch is pooled internally.
 func Encode(im *Image, quality int) ([]byte, error) {
 	if quality < 1 || quality > 100 {
 		return nil, fmt.Errorf("%w: %d", ErrBadQuality, quality)
 	}
 	yShift, cShift := shifts(quality)
 
-	yPlane := make([]uint8, im.W*im.H)
 	cw, ch := (im.W+1)/2, (im.H+1)/2
-	cbPlane := make([]uint8, cw*ch)
-	crPlane := make([]uint8, cw*ch)
-	cbSum := make([]uint32, cw*ch)
-	crSum := make([]uint32, cw*ch)
-	cnt := make([]uint16, cw*ch)
+	planes := bufpool.GetBytes(im.W*im.H + 2*cw*ch)
+	defer bufpool.PutBytes(planes)
+	yPlane := planes[:im.W*im.H]
+	cbPlane := planes[im.W*im.H : im.W*im.H+cw*ch]
+	crPlane := planes[im.W*im.H+cw*ch:]
+	sums := bufpool.GetUint32(3 * cw * ch)
+	defer bufpool.PutUint32(sums)
+	cbSum := sums[:cw*ch]
+	crSum := sums[cw*ch : 2*cw*ch]
+	cnt := sums[2*cw*ch:]
+	for i := range sums {
+		sums[i] = 0
+	}
 
 	for y := 0; y < im.H; y++ {
 		for x := 0; x < im.W; x++ {
@@ -73,7 +121,7 @@ func Encode(im *Image, quality int) ([]byte, error) {
 		}
 	}
 	for i := range cbPlane {
-		n := uint32(cnt[i])
+		n := cnt[i]
 		if n == 0 {
 			continue
 		}
@@ -85,7 +133,9 @@ func Encode(im *Image, quality int) ([]byte, error) {
 	deltaEncode(cbPlane, cw)
 	deltaEncode(crPlane, cw)
 
-	var buf bytes.Buffer
+	buf := encBufPool.Get().(*bytes.Buffer)
+	defer encBufPool.Put(buf)
+	buf.Reset()
 	buf.WriteString(sjpgMagic)
 	buf.WriteByte(sjpgVersion)
 	buf.WriteByte(uint8(quality))
@@ -94,25 +144,25 @@ func Encode(im *Image, quality int) ([]byte, error) {
 	binary.BigEndian.PutUint32(dims[4:8], uint32(im.H))
 	buf.Write(dims[:])
 
-	zw, err := flate.NewWriter(&buf, flate.DefaultCompression)
-	if err != nil {
-		return nil, fmt.Errorf("imaging: init flate: %w", err)
-	}
-	for _, plane := range [][]uint8{yPlane, cbPlane, crPlane} {
-		if _, err := zw.Write(plane); err != nil {
-			return nil, fmt.Errorf("imaging: compress plane: %w", err)
-		}
+	zw := flateWriterPool.Get().(*flate.Writer)
+	defer flateWriterPool.Put(zw)
+	zw.Reset(buf)
+	if _, err := zw.Write(planes); err != nil {
+		return nil, fmt.Errorf("imaging: compress planes: %w", err)
 	}
 	if err := zw.Close(); err != nil {
 		return nil, fmt.Errorf("imaging: finish compress: %w", err)
 	}
-	return buf.Bytes(), nil
+	return append([]byte(nil), buf.Bytes()...), nil
 }
 
 // EncodeDefault is Encode at DefaultQuality.
 func EncodeDefault(im *Image) ([]byte, error) { return Encode(im, DefaultQuality) }
 
-// Decode reconstructs an image from an SJPG stream.
+// Decode reconstructs an image from an SJPG stream. The returned image is
+// pool-backed: the caller owns it and should call Release when done to keep
+// the decode path allocation-free at steady state (skipping Release is safe,
+// merely slower).
 func Decode(data []byte) (*Image, error) {
 	w, h, quality, err := parseHeader(data)
 	if err != nil {
@@ -122,14 +172,26 @@ func Decode(data []byte) (*Image, error) {
 
 	cw, chh := (w+1)/2, (h+1)/2
 	total := w*h + 2*cw*chh
-	planes := make([]uint8, total)
-	zr := flate.NewReader(bytes.NewReader(data[headerSize:]))
+	planes := bufpool.GetBytes(total)
+	defer bufpool.PutBytes(planes)
+	pr := flateReaderPool.Get().(*pooledReader)
+	defer pr.release()
+	pr.reset(data[headerSize:])
+	zr := pr.zr
 	if _, err := io.ReadFull(zr, planes); err != nil {
 		return nil, fmt.Errorf("%w: decompress: %v", ErrCorrupt, err)
 	}
-	// A well-formed stream has no trailing plane data.
-	if n, _ := zr.Read(make([]byte, 1)); n != 0 {
+	// A well-formed stream has no trailing plane data. A reader may legally
+	// return (0, nil) before signalling EOF, so a single Read is not a
+	// reliable probe; io.ReadFull retries until it gets a byte or an error.
+	var trail [1]byte
+	switch _, err := io.ReadFull(zr, trail[:]); err {
+	case io.EOF:
+		// Clean end of stream.
+	case nil:
 		return nil, fmt.Errorf("%w: trailing data", ErrCorrupt)
+	default:
+		return nil, fmt.Errorf("%w: trailing garbage: %v", ErrCorrupt, err)
 	}
 	if err := zr.Close(); err != nil {
 		return nil, fmt.Errorf("%w: close: %v", ErrCorrupt, err)
@@ -142,7 +204,10 @@ func Decode(data []byte) (*Image, error) {
 	deltaDecode(cbPlane, cw)
 	deltaDecode(crPlane, cw)
 
-	im := MustNew(w, h)
+	im, err := NewPooled(w, h)
+	if err != nil {
+		return nil, err
+	}
 	yHalf := uint8(0)
 	if yShift > 0 {
 		yHalf = 1 << (yShift - 1)

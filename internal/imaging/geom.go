@@ -85,24 +85,94 @@ func Resize(im *Image, w, h int) (*Image, error) {
 // image.
 func FlipHorizontal(im *Image) *Image {
 	out := MustNew(im.W, im.H)
-	for y := 0; y < im.H; y++ {
-		for x := 0; x < im.W; x++ {
-			src := im.offset(x, y)
-			dst := out.offset(im.W-1-x, y)
-			out.Pix[dst] = im.Pix[src]
-			out.Pix[dst+1] = im.Pix[src+1]
-			out.Pix[dst+2] = im.Pix[src+2]
-		}
-	}
+	copy(out.Pix, im.Pix)
+	FlipHorizontalInPlace(out)
 	return out
 }
 
+// FlipHorizontalInPlace mirrors the image around its vertical axis without
+// allocating, swapping pixel triples within each row. It produces exactly the
+// pixels FlipHorizontal would.
+func FlipHorizontalInPlace(im *Image) {
+	for y := 0; y < im.H; y++ {
+		row := im.Pix[y*im.W*Channels : (y+1)*im.W*Channels]
+		for l, r := 0, im.W-1; l < r; l, r = l+1, r-1 {
+			lo, ro := l*Channels, r*Channels
+			row[lo], row[ro] = row[ro], row[lo]
+			row[lo+1], row[ro+1] = row[ro+1], row[lo+1]
+			row[lo+2], row[ro+2] = row[ro+2], row[lo+2]
+		}
+	}
+}
+
 // CropResize crops rect and resizes the result to w×h in one call; it is the
-// kernel of RandomResizedCrop.
+// kernel of RandomResizedCrop. The result is pool-backed (Release when done).
 func CropResize(im *Image, rect Rect, w, h int) (*Image, error) {
-	cropped, err := Crop(im, rect)
+	if !rect.Within(im.W, im.H) {
+		return nil, fmt.Errorf("%w: crop %+v of %dx%d", ErrBadDimensions, rect, im.W, im.H)
+	}
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("%w: resize to %dx%d", ErrBadDimensions, w, h)
+	}
+	out, err := NewPooled(w, h)
 	if err != nil {
 		return nil, err
 	}
-	return Resize(cropped, w, h)
+	cropResizeInto(im, rect, out)
+	return out, nil
+}
+
+// cropResizeInto samples rect out of im directly into dst, fusing the crop
+// copy and the bilinear resize into one pass: no intermediate crop image is
+// ever materialized. The arithmetic is identical to Resize run over
+// Crop(im, rect), so outputs are bit-for-bit the same.
+func cropResizeInto(im *Image, rect Rect, dst *Image) {
+	w, h := dst.W, dst.H
+	if w == rect.W && h == rect.H {
+		// Pure crop: row-wise copy, exactly what Crop does.
+		for y := 0; y < h; y++ {
+			srcOff := im.offset(rect.X, rect.Y+y)
+			dstOff := dst.offset(0, y)
+			copy(dst.Pix[dstOff:dstOff+w*Channels], im.Pix[srcOff:srcOff+w*Channels])
+		}
+		return
+	}
+	xRatio := float64(rect.W) / float64(w)
+	yRatio := float64(rect.H) / float64(h)
+	for y := 0; y < h; y++ {
+		srcY := (float64(y)+0.5)*yRatio - 0.5
+		if srcY < 0 {
+			srcY = 0
+		}
+		y0 := int(srcY)
+		y1 := y0 + 1
+		if y1 >= rect.H {
+			y1 = rect.H - 1
+		}
+		fy := srcY - float64(y0)
+		for x := 0; x < w; x++ {
+			srcX := (float64(x)+0.5)*xRatio - 0.5
+			if srcX < 0 {
+				srcX = 0
+			}
+			x0 := int(srcX)
+			x1 := x0 + 1
+			if x1 >= rect.W {
+				x1 = rect.W - 1
+			}
+			fx := srcX - float64(x0)
+
+			o00 := im.offset(rect.X+x0, rect.Y+y0)
+			o10 := im.offset(rect.X+x1, rect.Y+y0)
+			o01 := im.offset(rect.X+x0, rect.Y+y1)
+			o11 := im.offset(rect.X+x1, rect.Y+y1)
+			d := dst.offset(x, y)
+			for c := 0; c < Channels; c++ {
+				top := float64(im.Pix[o00+c])*(1-fx) + float64(im.Pix[o10+c])*fx
+				bot := float64(im.Pix[o01+c])*(1-fx) + float64(im.Pix[o11+c])*fx
+				v := top*(1-fy) + bot*fy
+				dst.Pix[d+c] = uint8(v + 0.5)
+			}
+		}
+	}
 }

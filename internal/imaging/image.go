@@ -9,6 +9,8 @@ package imaging
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/bufpool"
 )
 
 // Image is an 8-bit RGB image with interleaved pixels. Pix holds
@@ -39,6 +41,30 @@ func MustNew(w, h int) *Image {
 		panic(err)
 	}
 	return im
+}
+
+// NewPooled allocates an image whose pixel buffer comes from the bufpool
+// arena. The caller owns the image; calling Release when done returns the
+// buffer to the pool. The pixels are NOT zeroed — callers must overwrite
+// every byte (Decode and CropResizeInto both do).
+func NewPooled(w, h int) (*Image, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("%w: %dx%d", ErrBadDimensions, w, h)
+	}
+	return &Image{W: w, H: h, Pix: bufpool.GetBytes(w * h * Channels)}, nil
+}
+
+// Release returns the pixel buffer to the bufpool arena and clears the
+// image. It is safe on any image — buffers that did not come from the pool
+// (New, FromPix over foreign memory) are dropped, not recycled — but must be
+// called at most once, after which the image must not be used.
+func (im *Image) Release() {
+	if im == nil || im.Pix == nil {
+		return
+	}
+	bufpool.PutBytes(im.Pix)
+	im.Pix = nil
+	im.W, im.H = 0, 0
 }
 
 // FromPix wraps an existing pixel buffer. The buffer length must equal

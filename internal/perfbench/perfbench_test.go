@@ -1,0 +1,29 @@
+package perfbench
+
+import "testing"
+
+func TestRunProducesCompleteRecords(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perfbench suite takes several seconds")
+	}
+	results, err := Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("got %d results, want 6", len(results))
+	}
+	seen := map[string]bool{}
+	for _, r := range results {
+		if r.Name == "" || r.NsPerOp <= 0 {
+			t.Errorf("incomplete record: %+v", r)
+		}
+		if r.AllocsPerOp < 0 || r.BytesPerOp < 0 {
+			t.Errorf("negative alloc stats: %+v", r)
+		}
+		if seen[r.Name] {
+			t.Errorf("duplicate benchmark name %q", r.Name)
+		}
+		seen[r.Name] = true
+	}
+}

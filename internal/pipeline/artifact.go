@@ -95,34 +95,53 @@ func (a Artifact) WireSize() int {
 
 // Encode serializes the artifact: a kind byte followed by the payload
 // (raw bytes verbatim; images as W,H plus pixels; tensors via
-// tensor.Marshal).
+// tensor.Marshal). The result is freshly allocated; use AppendEncode to
+// encode into a pooled buffer instead.
 func (a Artifact) Encode() ([]byte, error) {
+	return a.AppendEncode(make([]byte, 0, a.WireSize()))
+}
+
+// AppendEncode appends the artifact encoding to dst and returns the extended
+// slice. When dst has WireSize() spare capacity the call performs no
+// allocation, which is how the storage executor encodes into pooled buffers.
+func (a Artifact) AppendEncode(dst []byte) ([]byte, error) {
 	switch a.Kind {
 	case KindRaw:
-		out := make([]byte, 1+len(a.Raw))
-		out[0] = byte(KindRaw)
-		copy(out[1:], a.Raw)
-		return out, nil
+		dst = append(dst, byte(KindRaw))
+		return append(dst, a.Raw...), nil
 	case KindImage:
 		im := a.Image
-		out := make([]byte, imageHeader+im.ByteSize())
-		out[0] = byte(KindImage)
-		binary.LittleEndian.PutUint32(out[1:5], uint32(im.W))
-		binary.LittleEndian.PutUint32(out[5:9], uint32(im.H))
-		copy(out[imageHeader:], im.Pix)
-		return out, nil
+		var hdr [imageHeader]byte
+		hdr[0] = byte(KindImage)
+		binary.LittleEndian.PutUint32(hdr[1:5], uint32(im.W))
+		binary.LittleEndian.PutUint32(hdr[5:9], uint32(im.H))
+		dst = append(dst, hdr[:]...)
+		return append(dst, im.Pix...), nil
 	case KindTensor:
-		payload := a.Tensor.Marshal()
-		out := make([]byte, 1+len(payload))
-		out[0] = byte(KindTensor)
-		copy(out[1:], payload)
-		return out, nil
+		dst = append(dst, byte(KindTensor))
+		return a.Tensor.AppendMarshal(dst), nil
 	default:
 		return nil, fmt.Errorf("%w: kind %d", ErrCorrupt, a.Kind)
 	}
 }
 
-// DecodeArtifact parses an encoded artifact.
+// Release returns pooled payload buffers to the bufpool arena. Image and
+// tensor payloads are owned by whoever holds the artifact; raw payloads are
+// borrowed (they may alias the store or a cache) and are left untouched.
+// Call at most once; the artifact must not be used afterwards.
+func (a Artifact) Release() {
+	switch a.Kind {
+	case KindImage:
+		a.Image.Release()
+	case KindTensor:
+		a.Tensor.Release()
+	}
+}
+
+// DecodeArtifact parses an encoded artifact. Image and tensor payloads are
+// copied into pool-backed buffers — the caller owns the result (Release when
+// done) and data is never aliased. Raw payloads are copied into plain memory
+// since raw artifacts are borrowed-by-convention and never released.
 func DecodeArtifact(data []byte) (Artifact, error) {
 	if len(data) < 1 {
 		return Artifact{}, fmt.Errorf("%w: empty", ErrCorrupt)
@@ -146,12 +165,11 @@ func DecodeArtifact(data []byte) (Artifact, error) {
 		if len(data) != want {
 			return Artifact{}, fmt.Errorf("%w: image payload %d bytes, want %d", ErrCorrupt, len(data), want)
 		}
-		pix := make([]uint8, w*h*imaging.Channels)
-		copy(pix, data[imageHeader:])
-		im, err := imaging.FromPix(w, h, pix)
+		im, err := imaging.NewPooled(w, h)
 		if err != nil {
 			return Artifact{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}
+		copy(im.Pix, data[imageHeader:])
 		return ImageArtifact(im), nil
 	case KindTensor:
 		t, err := tensor.Unmarshal(data[1:])

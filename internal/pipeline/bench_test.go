@@ -25,9 +25,11 @@ func BenchmarkFullPipeline640x480(b *testing.B) {
 	b.SetBytes(int64(len(raw)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := p.Run(raw, Seed{Job: 1, Epoch: 1, Sample: uint64(i)}); err != nil {
+		out, err := p.Run(raw, Seed{Job: 1, Epoch: 1, Sample: uint64(i)})
+		if err != nil {
 			b.Fatal(err)
 		}
+		out.Release()
 	}
 }
 
@@ -36,9 +38,11 @@ func BenchmarkPrefixDecodeCrop(b *testing.B) {
 	p := DefaultStandard()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := p.RunRange(RawArtifact(raw), 0, 2, Seed{Job: 1, Epoch: 1, Sample: uint64(i)}); err != nil {
+		out, err := p.RunRange(RawArtifact(raw), 0, 2, Seed{Job: 1, Epoch: 1, Sample: uint64(i)})
+		if err != nil {
 			b.Fatal(err)
 		}
+		out.Release()
 	}
 }
 
@@ -47,9 +51,11 @@ func BenchmarkTraceInstrumentation(b *testing.B) {
 	p := DefaultStandard()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := p.Trace(raw, Seed{Job: 1, Epoch: 1, Sample: uint64(i)}); err != nil {
+		out, _, err := p.Trace(raw, Seed{Job: 1, Epoch: 1, Sample: uint64(i)})
+		if err != nil {
 			b.Fatal(err)
 		}
+		out.Release()
 	}
 }
 
@@ -80,8 +86,10 @@ func BenchmarkArtifactDecodeImage224(b *testing.B) {
 	b.SetBytes(int64(len(enc)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := DecodeArtifact(enc); err != nil {
+		out, err := DecodeArtifact(enc)
+		if err != nil {
 			b.Fatal(err)
 		}
+		out.Release()
 	}
 }

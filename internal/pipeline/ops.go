@@ -44,7 +44,14 @@ func (id OpID) String() string {
 }
 
 // Op is one preprocessing operation. Apply must be deterministic given the
-// artifact and the rng stream, and must not mutate its input.
+// artifact and the rng stream.
+//
+// Ownership: Apply CONSUMES its input artifact. Image and tensor payloads
+// are owned by the pipeline — an op may mutate them in place or Release
+// them to the buffer pool; callers must not touch an artifact after passing
+// it to Apply. Raw payloads are the one exception: they are borrowed
+// (they may alias the store or a cache) and must never be mutated or
+// released. See DESIGN.md "Buffer ownership".
 type Op interface {
 	ID() OpID
 	Name() string
@@ -110,6 +117,7 @@ func (op randomResizedCropOp) Apply(a Artifact, rng *rand.Rand) (Artifact, error
 	if err != nil {
 		return Artifact{}, fmt.Errorf("pipeline: random resized crop: %w", err)
 	}
+	im.Release()
 	return ImageArtifact(out), nil
 }
 
@@ -163,10 +171,12 @@ func (op randomHorizontalFlipOp) Apply(a Artifact, rng *rand.Rand) (Artifact, er
 	if a.Kind != KindImage {
 		return Artifact{}, fmt.Errorf("%w: RandomHorizontalFlip wants image, got %s", ErrKindMismatch, a.Kind)
 	}
+	// The op owns its input, so the flip happens in the image's own buffer:
+	// no copy on either branch.
 	if rng.Float64() < op.P {
-		return ImageArtifact(imaging.FlipHorizontal(a.Image)), nil
+		imaging.FlipHorizontalInPlace(a.Image)
 	}
-	return ImageArtifact(a.Image.Clone()), nil
+	return ImageArtifact(a.Image), nil
 }
 
 // toTensorOp converts uint8 RGB to a float32 CHW tensor in [0, 1] — the 4×
@@ -182,7 +192,9 @@ func (toTensorOp) Apply(a Artifact, _ *rand.Rand) (Artifact, error) {
 	if a.Kind != KindImage {
 		return Artifact{}, fmt.Errorf("%w: ToTensor wants image, got %s", ErrKindMismatch, a.Kind)
 	}
-	return TensorArtifact(tensor.FromImage(a.Image)), nil
+	t := tensor.FromImage(a.Image)
+	a.Image.Release()
+	return TensorArtifact(t), nil
 }
 
 // normalizeOp standardizes the tensor with per-channel mean/std.
@@ -200,9 +212,9 @@ func (op normalizeOp) Apply(a Artifact, _ *rand.Rand) (Artifact, error) {
 	if a.Kind != KindTensor {
 		return Artifact{}, fmt.Errorf("%w: Normalize wants tensor, got %s", ErrKindMismatch, a.Kind)
 	}
-	t := a.Tensor.Clone()
-	if err := t.Normalize(op.Mean, op.Std); err != nil {
+	// In place: the op owns its input tensor.
+	if err := a.Tensor.Normalize(op.Mean, op.Std); err != nil {
 		return Artifact{}, fmt.Errorf("pipeline: normalize: %w", err)
 	}
-	return TensorArtifact(t), nil
+	return a, nil
 }

@@ -67,10 +67,11 @@ func (op resizeShorterOp) Apply(a Artifact, _ *rand.Rand) (Artifact, error) {
 	if h < 1 {
 		h = 1
 	}
-	out, err := imaging.Resize(im, w, h)
+	out, err := imaging.CropResize(im, imaging.Rect{X: 0, Y: 0, W: im.W, H: im.H}, w, h)
 	if err != nil {
 		return Artifact{}, fmt.Errorf("pipeline: resize shorter: %w", err)
 	}
+	im.Release()
 	return ImageArtifact(out), nil
 }
 
@@ -99,18 +100,14 @@ func (op centerCropOp) Apply(a Artifact, _ *rand.Rand) (Artifact, error) {
 		ch = im.H
 	}
 	rect := imaging.Rect{X: (im.W - cw) / 2, Y: (im.H - ch) / 2, W: cw, H: ch}
-	cropped, err := imaging.Crop(im, rect)
+	// CropResize fuses the crop and the (upscale-if-undersized) resize into
+	// one pass; when rect already matches the target it is a pure crop copy.
+	out, err := imaging.CropResize(im, rect, op.Size, op.Size)
 	if err != nil {
 		return Artifact{}, fmt.Errorf("pipeline: center crop: %w", err)
 	}
-	if cropped.W != op.Size || cropped.H != op.Size {
-		// Undersized input: upscale to the requested square.
-		cropped, err = imaging.Resize(cropped, op.Size, op.Size)
-		if err != nil {
-			return Artifact{}, fmt.Errorf("pipeline: center crop resize: %w", err)
-		}
-	}
-	return ImageArtifact(cropped), nil
+	im.Release()
+	return ImageArtifact(out), nil
 }
 
 // colorJitterOp randomly scales brightness and contrast within ±Strength.
@@ -133,9 +130,9 @@ func (op colorJitterOp) Apply(a Artifact, rng *rand.Rand) (Artifact, error) {
 	}
 	brightness := 1 + (rng.Float64()*2-1)*s
 	contrast := 1 + (rng.Float64()*2-1)*s
-	src := a.Image
-	out := imaging.MustNew(src.W, src.H)
-	for i, v := range src.Pix {
+	// Element-wise, so the jitter runs in place in the owned input buffer.
+	im := a.Image
+	for i, v := range im.Pix {
 		f := (float64(v)-128)*contrast + 128
 		f *= brightness
 		if f < 0 {
@@ -144,9 +141,9 @@ func (op colorJitterOp) Apply(a Artifact, rng *rand.Rand) (Artifact, error) {
 		if f > 255 {
 			f = 255
 		}
-		out.Pix[i] = uint8(f + 0.5)
+		im.Pix[i] = uint8(f + 0.5)
 	}
-	return ImageArtifact(out), nil
+	return ImageArtifact(im), nil
 }
 
 // grayscaleOp converts to luma with probability P (RandomGrayscale).
@@ -164,19 +161,18 @@ func (op grayscaleOp) Apply(a Artifact, rng *rand.Rand) (Artifact, error) {
 		return Artifact{}, fmt.Errorf("%w: Grayscale wants image, got %s", ErrKindMismatch, a.Kind)
 	}
 	if rng.Float64() >= op.P {
-		return ImageArtifact(a.Image.Clone()), nil
+		return ImageArtifact(a.Image), nil
 	}
-	src := a.Image
-	out := imaging.MustNew(src.W, src.H)
-	for y := 0; y < src.H; y++ {
-		for x := 0; x < src.W; x++ {
-			r, g, b := src.At(x, y)
-			// ITU-R BT.601 luma.
+	im := a.Image
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			r, g, b := im.At(x, y)
+			// ITU-R BT.601 luma, computed in place per pixel.
 			l := uint8((299*int(r) + 587*int(g) + 114*int(b) + 500) / 1000)
-			out.Set(x, y, l, l, l)
+			im.Set(x, y, l, l, l)
 		}
 	}
-	return ImageArtifact(out), nil
+	return ImageArtifact(im), nil
 }
 
 // Validation builds the deterministic eval-time pipeline torchvision

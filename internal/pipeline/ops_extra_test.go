@@ -95,7 +95,9 @@ func TestCenterCropGeometry(t *testing.T) {
 
 func TestColorJitterBounds(t *testing.T) {
 	im, _ := imaging.Synthesize(imaging.SynthParams{W: 20, H: 20, Detail: 0.6, Seed: 6})
-	out, err := colorJitterOp{Strength: 0.4}.Apply(ImageArtifact(im), rngFor(Seed{Job: 1}, 3))
+	// Apply consumes (and mutates) its input, so pass clones to keep im
+	// pristine for the identity comparison.
+	out, err := colorJitterOp{Strength: 0.4}.Apply(ImageArtifact(im.Clone()), rngFor(Seed{Job: 1}, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +105,7 @@ func TestColorJitterBounds(t *testing.T) {
 		t.Fatal("jitter changed geometry")
 	}
 	// Zero strength is identity.
-	same, err := colorJitterOp{Strength: 0}.Apply(ImageArtifact(im), rngFor(Seed{Job: 1}, 3))
+	same, err := colorJitterOp{Strength: 0}.Apply(ImageArtifact(im.Clone()), rngFor(Seed{Job: 1}, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +116,7 @@ func TestColorJitterBounds(t *testing.T) {
 
 func TestGrayscaleOp(t *testing.T) {
 	im, _ := imaging.Synthesize(imaging.SynthParams{W: 10, H: 10, Detail: 0.8, Seed: 7})
-	out, err := grayscaleOp{P: 1}.Apply(ImageArtifact(im), rngFor(Seed{Job: 2}, 4))
+	out, err := grayscaleOp{P: 1}.Apply(ImageArtifact(im.Clone()), rngFor(Seed{Job: 2}, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +128,7 @@ func TestGrayscaleOp(t *testing.T) {
 			}
 		}
 	}
-	keep, err := grayscaleOp{P: 0}.Apply(ImageArtifact(im), rngFor(Seed{Job: 2}, 4))
+	keep, err := grayscaleOp{P: 0}.Apply(ImageArtifact(im.Clone()), rngFor(Seed{Job: 2}, 4))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"sync"
 	"time"
 
 	"repro/internal/tensor"
@@ -95,21 +96,67 @@ func (p *Pipeline) OpIDs() []OpID {
 	return ids
 }
 
-// rngFor builds the op's independent random stream.
+// rngFor builds the op's independent random stream. It is the reference for
+// rngHolder.seedFor, which produces the identical stream without allocating.
 func rngFor(seed Seed, opIndex int) *rand.Rand {
 	s := seed.ForOp(opIndex)
 	return rand.New(rand.NewPCG(s, splitmix(s)))
 }
 
+// rngHolder is a reusable PCG generator. rand.Rand carries no state beyond
+// its source, so re-seeding the PCG yields exactly the stream a fresh
+// rand.New(rand.NewPCG(...)) would.
+type rngHolder struct {
+	pcg *rand.PCG
+	rng *rand.Rand
+}
+
+var rngPool = sync.Pool{New: func() any {
+	pcg := rand.NewPCG(0, 0)
+	return &rngHolder{pcg: pcg, rng: rand.New(pcg)}
+}}
+
+// seedFor re-seeds the holder to op opIndex's independent stream, matching
+// rngFor bit for bit.
+func (h *rngHolder) seedFor(seed Seed, opIndex int) *rand.Rand {
+	s := seed.ForOp(opIndex)
+	h.pcg.Seed(s, splitmix(s))
+	return h.rng
+}
+
 // RunRange applies ops [from, to) to a, deriving each op's rng from seed.
 // from==to returns a unchanged.
+//
+// Ownership follows the Op contract: the pipeline consumes a (image/tensor
+// payloads may be mutated in place or released to the buffer pool; raw
+// payloads are borrowed and left untouched). The returned artifact is owned
+// by the caller — Release it when done to keep the path allocation-free.
+//
+// An adjacent ToTensor+Normalize pair inside [from, to) is fused into a
+// single pass (tensor.FromImageNormalized); both ops ignore their rng and
+// the fused kernel is bit-identical to the sequential pair, so results are
+// unchanged.
 func (p *Pipeline) RunRange(a Artifact, from, to int, seed Seed) (Artifact, error) {
 	if from < 0 || to > len(p.ops) || from > to {
 		return Artifact{}, fmt.Errorf("%w: [%d, %d) of %d ops", ErrBadSplit, from, to, len(p.ops))
 	}
+	h := rngPool.Get().(*rngHolder)
+	defer rngPool.Put(h)
 	cur := a
 	for i := from; i < to; i++ {
-		next, err := p.ops[i].Apply(cur, rngFor(seed, i))
+		if _, isTT := p.ops[i].(toTensorOp); isTT && i+1 < to && cur.Kind == KindImage {
+			if nz, isNZ := p.ops[i+1].(normalizeOp); isNZ {
+				t, err := tensor.FromImageNormalized(cur.Image, nz.Mean, nz.Std)
+				if err != nil {
+					return Artifact{}, fmt.Errorf("pipeline: op %d (%s): %w", i+1, p.ops[i+1].Name(), err)
+				}
+				cur.Image.Release()
+				cur = TensorArtifact(t)
+				i++ // loop increment skips the fused Normalize as well
+				continue
+			}
+		}
+		next, err := p.ops[i].Apply(cur, h.seedFor(seed, i))
 		if err != nil {
 			return Artifact{}, fmt.Errorf("pipeline: op %d (%s): %w", i, p.ops[i].Name(), err)
 		}
@@ -146,7 +193,8 @@ func (t StageTrace) MinStage() int {
 
 // Trace runs the full pipeline over raw bytes, recording per-stage wire
 // sizes and per-op wall times. It is the measurement kernel of the profiler's
-// second stage.
+// second stage, so it deliberately runs every op sequentially — no
+// ToTensor+Normalize fusion — to measure each op's true cost.
 func (p *Pipeline) Trace(raw []byte, seed Seed) (Artifact, StageTrace, error) {
 	trace := StageTrace{
 		Sizes:   make([]int, len(p.ops)+1),

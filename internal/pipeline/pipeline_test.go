@@ -386,14 +386,16 @@ func TestFlipProbabilityZeroAndOne(t *testing.T) {
 	never := randomHorizontalFlipOp{P: 0}
 	always := randomHorizontalFlipOp{P: 1}
 	seed := Seed{Job: 9, Epoch: 9, Sample: 9}
-	a, err := never.Apply(ImageArtifact(im), rngFor(seed, 2))
+	// Apply consumes (and may mutate) its input, so each call gets a clone
+	// and im stays pristine for the comparisons.
+	a, err := never.Apply(ImageArtifact(im.Clone()), rngFor(seed, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !a.Image.Equal(im) {
 		t.Fatal("P=0 flipped the image")
 	}
-	b, err := always.Apply(ImageArtifact(im), rngFor(seed, 2))
+	b, err := always.Apply(ImageArtifact(im.Clone()), rngFor(seed, 2))
 	if err != nil {
 		t.Fatal(err)
 	}

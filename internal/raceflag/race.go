@@ -1,0 +1,10 @@
+//go:build race
+
+// Package raceflag reports whether the race detector is compiled in.
+// Allocation-budget tests consult it: -race instrumentation deliberately
+// degrades sync.Pool caching (it randomly drops pooled items to provoke
+// races), so steady-state allocation measurements are meaningless there.
+package raceflag
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

@@ -16,9 +16,11 @@ func BenchmarkFetchRaw(b *testing.B) {
 	c := dial()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Fetch(context.Background(), uint32(i%8), 0, 1); err != nil {
+		res, err := c.Fetch(context.Background(), uint32(i%8), 0, 1)
+		if err != nil {
 			b.Fatal(err)
 		}
+		res.Artifact.Release()
 	}
 }
 
@@ -28,9 +30,11 @@ func BenchmarkFetchOffloadedPrefix(b *testing.B) {
 	c := dial()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Fetch(context.Background(), uint32(i%8), 2, 1); err != nil {
+		res, err := c.Fetch(context.Background(), uint32(i%8), 2, 1)
+		if err != nil {
 			b.Fatal(err)
 		}
+		res.Artifact.Release()
 	}
 }
 
@@ -84,12 +88,15 @@ func BenchmarkTransport_Pipelined(b *testing.B) {
 				gate <- struct{}{}
 				go func(i int) {
 					defer func() { <-gate }()
-					if _, err := c.Fetch(context.Background(), uint32(i%16), 2, 1); err != nil {
+					res, err := c.Fetch(context.Background(), uint32(i%16), 2, 1)
+					if err != nil {
 						select {
 						case errCh <- err:
 						default:
 						}
+						return
 					}
+					res.Artifact.Release()
 				}(i)
 			}
 			for k := 0; k < window; k++ { // drain: wait for stragglers
@@ -117,8 +124,10 @@ func BenchmarkExecutorPrefix(b *testing.B) {
 	b.SetBytes(int64(len(raw)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.RunPrefix(raw, 2, pipeline.Seed{Job: 1, Epoch: 1, Sample: uint64(i)}); err != nil {
+		art, err := e.RunPrefix(raw, 2, pipeline.Seed{Job: 1, Epoch: 1, Sample: uint64(i)})
+		if err != nil {
 			b.Fatal(err)
 		}
+		art.Release()
 	}
 }

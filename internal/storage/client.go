@@ -207,6 +207,9 @@ func (c *Client) readLoop() {
 		c.mu.Unlock()
 		if ok {
 			ch <- msg // buffered(1); the reader never blocks here
+		} else {
+			// Dropped response (caller cancelled): reclaim its pooled buffers.
+			wire.Recycle(msg)
 		}
 	}
 }
@@ -354,12 +357,18 @@ func (c *Client) Fetch(ctx context.Context, sample uint32, split int, epoch uint
 	}
 	resp, ok := msg.(*wire.FetchResp)
 	if !ok {
+		wire.Recycle(msg)
 		return FetchResult{}, fmt.Errorf("storage: unexpected reply %s", msg.Type())
 	}
 	if err := statusErr(resp.Status, sample, split); err != nil {
+		wire.Recycle(resp)
 		return FetchResult{Sample: sample, Status: resp.Status, Err: err}, err
 	}
+	// Frame size must be read before Recycle clears the artifact bytes;
+	// DecodeArtifact copies the payload, so recycling afterwards is safe.
+	frame := wire.FrameSize(resp)
 	art, err := pipeline.DecodeArtifact(resp.Artifact)
+	wire.Recycle(resp)
 	if err != nil {
 		return FetchResult{}, fmt.Errorf("storage: decode artifact: %w", err)
 	}
@@ -367,7 +376,7 @@ func (c *Client) Fetch(ctx context.Context, sample uint32, split int, epoch uint
 		Sample:    sample,
 		Artifact:  art,
 		Split:     int(resp.Split),
-		WireBytes: wire.FrameSize(resp),
+		WireBytes: frame,
 		Status:    wire.FetchOK,
 	}, nil
 }
@@ -403,8 +412,12 @@ func (c *Client) FetchBatch(ctx context.Context, samples []uint32, splits []int,
 	}
 	resp, ok := msg.(*wire.FetchBatchResp)
 	if !ok {
+		wire.Recycle(msg)
 		return nil, fmt.Errorf("storage: unexpected batch reply %s", msg.Type())
 	}
+	// Every exit below is done with the response's pooled artifact buffers:
+	// DecodeArtifact copies payloads out, so the whole batch is recycled here.
+	defer wire.Recycle(resp)
 	if len(resp.Items) != len(items) {
 		return nil, fmt.Errorf("storage: batch returned %d items, want %d", len(resp.Items), len(items))
 	}

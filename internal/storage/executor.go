@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/pipeline"
 )
 
@@ -87,4 +88,25 @@ func (e *Executor) RunPrefix(raw []byte, split int, seed pipeline.Seed) (pipelin
 	}
 	e.counters.OpsExecuted.Add(uint64(split))
 	return art, nil
+}
+
+// RunPrefixEncoded runs ops [0, split) and encodes the result straight into
+// a pool-backed buffer, releasing the artifact's pixel/tensor scratch before
+// returning. This keeps the server's per-request path allocation-free at
+// steady state. The caller owns the encoded bytes and returns them with
+// bufpool.PutBytes — the server's writer goroutine does so via wire.Recycle
+// once the frame is on the wire.
+func (e *Executor) RunPrefixEncoded(raw []byte, split int, seed pipeline.Seed) ([]byte, error) {
+	art, err := e.RunPrefix(raw, split, seed)
+	if err != nil {
+		return nil, err
+	}
+	buf := bufpool.GetBytes(art.WireSize())[:0]
+	encoded, err := art.AppendEncode(buf)
+	art.Release()
+	if err != nil {
+		bufpool.PutBytes(buf)
+		return nil, err
+	}
+	return encoded, nil
 }

@@ -225,9 +225,13 @@ func (s *Server) handleConn(conn net.Conn) {
 		broken := false
 		for m := range respCh {
 			if broken {
+				// Still recycle pooled artifact buffers while draining.
+				wire.Recycle(m)
 				continue
 			}
-			if err := s.send(conn, m); err != nil {
+			err := s.send(conn, m)
+			wire.Recycle(m)
+			if err != nil {
 				if !errors.Is(err, net.ErrClosed) {
 					s.logf("storage: send resp: %v", err)
 				}
@@ -341,15 +345,11 @@ func (s *Server) handleFetch(jobID uint64, req *wire.Fetch) *wire.FetchResp {
 		return resp
 	}
 	seed := pipeline.Seed{Job: jobID, Epoch: req.Epoch, Sample: uint64(req.Sample)}
-	art, err := s.exec.RunPrefix(raw, split, seed)
+	// RunPrefixEncoded encodes into a pooled buffer; the writer goroutine
+	// returns it to the arena (wire.Recycle) once the frame is sent.
+	encoded, err := s.exec.RunPrefixEncoded(raw, split, seed)
 	if err != nil {
 		s.logf("storage: prefix sample=%d split=%d: %v", req.Sample, split, err)
-		resp.Status = wire.FetchFailed
-		return resp
-	}
-	encoded, err := art.Encode()
-	if err != nil {
-		s.logf("storage: encode sample=%d: %v", req.Sample, err)
 		resp.Status = wire.FetchFailed
 		return resp
 	}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/bufpool"
 	"repro/internal/imaging"
 )
 
@@ -39,6 +40,28 @@ func New(c, h, w int) (*Tensor, error) {
 		return nil, fmt.Errorf("%w: %dx%dx%d", ErrBadShape, c, h, w)
 	}
 	return &Tensor{C: c, H: h, W: w, Data: make([]float32, c*h*w)}, nil
+}
+
+// NewPooled allocates a tensor whose element buffer comes from the bufpool
+// arena. The caller owns it; Release returns the buffer to the pool. The
+// elements are NOT zeroed — callers must overwrite every value.
+func NewPooled(c, h, w int) (*Tensor, error) {
+	if c <= 0 || h <= 0 || w <= 0 {
+		return nil, fmt.Errorf("%w: %dx%dx%d", ErrBadShape, c, h, w)
+	}
+	return &Tensor{C: c, H: h, W: w, Data: bufpool.GetFloat32(c * h * w)}, nil
+}
+
+// Release returns the element buffer to the bufpool arena and clears the
+// tensor. Safe on any tensor (foreign buffers are dropped, not recycled) but
+// must be called at most once, after which the tensor must not be used.
+func (t *Tensor) Release() {
+	if t == nil || t.Data == nil {
+		return
+	}
+	bufpool.PutFloat32(t.Data)
+	t.Data = nil
+	t.C, t.H, t.W = 0, 0, 0
 }
 
 // Len returns the number of elements.
@@ -79,9 +102,10 @@ func (t *Tensor) Equal(o *Tensor) bool {
 }
 
 // FromImage converts an RGB image to a float tensor scaled to [0, 1],
-// matching torchvision's ToTensor: channel-major output, v/255.
+// matching torchvision's ToTensor: channel-major output, v/255. The result
+// is pool-backed (Release when done).
 func FromImage(im *imaging.Image) *Tensor {
-	t, _ := New(imaging.Channels, im.H, im.W)
+	t, _ := NewPooled(imaging.Channels, im.H, im.W)
 	plane := im.H * im.W
 	for y := 0; y < im.H; y++ {
 		for x := 0; x < im.W; x++ {
@@ -93,6 +117,46 @@ func FromImage(im *imaging.Image) *Tensor {
 		}
 	}
 	return t
+}
+
+// FromImageNormalized is the fused ToTensor+Normalize kernel: one pass over
+// the pixels computing (v/255 - mean[c]) / std[c] directly into a pooled
+// tensor, instead of a full [0,1] conversion pass followed by a full
+// normalization pass. The arithmetic is the exact float32 operation sequence
+// of FromImage followed by Normalize, so outputs are bit-identical to the
+// unfused pair. mean and std must have 3 entries and std must be non-zero.
+func FromImageNormalized(im *imaging.Image, mean, std []float32) (*Tensor, error) {
+	if len(mean) != imaging.Channels || len(std) != imaging.Channels {
+		return nil, fmt.Errorf("%w: normalize wants %d-channel stats, got %d/%d",
+			ErrBadShape, imaging.Channels, len(mean), len(std))
+	}
+	for c := 0; c < imaging.Channels; c++ {
+		if std[c] == 0 {
+			return nil, fmt.Errorf("%w: zero std for channel %d", ErrBadShape, c)
+		}
+	}
+	t, err := NewPooled(imaging.Channels, im.H, im.W)
+	if err != nil {
+		return nil, err
+	}
+	plane := im.H * im.W
+	mr, mg, mb := mean[0], mean[1], mean[2]
+	sr, sg, sb := std[0], std[1], std[2]
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			r, g, b := im.At(x, y)
+			i := y*im.W + x
+			// Two float32 steps per value, matching FromImage then
+			// Normalize exactly; do not algebraically rearrange.
+			vr := float32(r) / 255
+			vg := float32(g) / 255
+			vb := float32(b) / 255
+			t.Data[i] = (vr - mr) / sr
+			t.Data[plane+i] = (vg - mg) / sg
+			t.Data[2*plane+i] = (vb - mb) / sb
+		}
+	}
+	return t, nil
 }
 
 // Normalize applies (v - mean[c]) / std[c] per channel in place, matching
@@ -128,7 +192,20 @@ var (
 // Marshal encodes the tensor to the STSR wire format: header plus
 // little-endian float32 payload.
 func (t *Tensor) Marshal() []byte {
-	out := make([]byte, headerSize+4*t.Len())
+	return t.AppendMarshal(make([]byte, 0, headerSize+4*t.Len()))
+}
+
+// AppendMarshal appends the STSR encoding to dst and returns the extended
+// slice, letting callers marshal into pooled buffers without allocating.
+func (t *Tensor) AppendMarshal(dst []byte) []byte {
+	start := len(dst)
+	n := headerSize + 4*t.Len()
+	if cap(dst)-start >= n {
+		dst = dst[:start+n]
+	} else {
+		dst = append(dst, make([]byte, n)...)
+	}
+	out := dst[start:]
 	copy(out, wireMagic)
 	out[4] = wireVersion
 	binary.LittleEndian.PutUint32(out[8:12], uint32(t.C))
@@ -137,10 +214,11 @@ func (t *Tensor) Marshal() []byte {
 	for i, v := range t.Data {
 		binary.LittleEndian.PutUint32(out[headerSize+4*i:], math.Float32bits(v))
 	}
-	return out
+	return dst
 }
 
-// Unmarshal decodes an STSR stream.
+// Unmarshal decodes an STSR stream. The returned tensor is pool-backed
+// (Release when done); its data is copied out of data, never aliased.
 func Unmarshal(data []byte) (*Tensor, error) {
 	if len(data) < headerSize || string(data[:4]) != wireMagic {
 		return nil, ErrCorrupt
@@ -159,7 +237,7 @@ func Unmarshal(data []byte) (*Tensor, error) {
 	if len(data) != want {
 		return nil, fmt.Errorf("%w: have %d bytes, want %d", ErrCorrupt, len(data), want)
 	}
-	t, err := New(c, h, w)
+	t, err := NewPooled(c, h, w)
 	if err != nil {
 		return nil, err
 	}

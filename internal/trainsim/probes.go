@@ -66,9 +66,11 @@ func (t *Trainer) Stage1Probes() profiler.Probes {
 		for k := 0; k < total; k++ {
 			raw := cached[k%len(cached)]
 			seed := pipeline.Seed{Job: t.cfg.JobID, Epoch: 0, Sample: uint64(k)}
-			if _, err := t.cfg.Pipeline.Run(raw, seed); err != nil {
+			art, err := t.cfg.Pipeline.Run(raw, seed)
+			if err != nil {
 				return 0, 0, fmt.Errorf("cpu probe sample %d: %w", k, err)
 			}
+			art.Release()
 		}
 		return total, clock.Now().Sub(start), nil
 	}

@@ -489,6 +489,9 @@ func (t *Trainer) finishSample(res storage.FetchResult, epoch uint64, i, split i
 	if out.Kind != pipeline.KindTensor {
 		return sampleOutcome{err: fmt.Errorf("trainsim: sample %d produced %s, want tensor", i, out.Kind)}
 	}
+	// The simulated training step consumes the tensor by time, not by value;
+	// return its pooled buffer so steady-state training stops allocating.
+	out.Release()
 	localCPU := time.Since(cpuStart)
 	if t.cfg.Metrics != nil {
 		t.cfg.Metrics.Histogram("trainer.preprocess_seconds").Observe(localCPU.Seconds())

@@ -46,16 +46,19 @@ const MaxBatchItems = 64
 func (*FetchBatch) Type() MsgType     { return TypeFetchBatch }
 func (*FetchBatchResp) Type() MsgType { return TypeFetchBatchResp }
 
-func (m *FetchBatch) encodePayload() []byte {
-	p := make([]byte, 8+8+2+5*len(m.Items))
-	binary.BigEndian.PutUint64(p[0:8], m.RequestID)
-	binary.BigEndian.PutUint64(p[8:16], m.Epoch)
-	binary.BigEndian.PutUint16(p[16:18], uint16(len(m.Items)))
-	off := 18
+func (m *FetchBatch) payloadSize() int { return 18 + 5*len(m.Items) }
+
+func (m *FetchBatch) appendPayload(p []byte) []byte {
+	var b [18]byte
+	binary.BigEndian.PutUint64(b[0:8], m.RequestID)
+	binary.BigEndian.PutUint64(b[8:16], m.Epoch)
+	binary.BigEndian.PutUint16(b[16:18], uint16(len(m.Items)))
+	p = append(p, b[:]...)
 	for _, it := range m.Items {
-		binary.BigEndian.PutUint32(p[off:off+4], it.Sample)
-		p[off+4] = it.Split
-		off += 5
+		var e [5]byte
+		binary.BigEndian.PutUint32(e[0:4], it.Sample)
+		e[4] = it.Split
+		p = append(p, e[:]...)
 	}
 	return p
 }
@@ -83,22 +86,27 @@ func (m *FetchBatch) decodePayload(p []byte) error {
 	return nil
 }
 
-func (m *FetchBatchResp) encodePayload() []byte {
+func (m *FetchBatchResp) payloadSize() int {
 	size := 8 + 2
 	for _, it := range m.Items {
 		size += 4 + 1 + 1 + 4 + len(it.Artifact)
 	}
-	p := make([]byte, size)
-	binary.BigEndian.PutUint64(p[0:8], m.RequestID)
-	binary.BigEndian.PutUint16(p[8:10], uint16(len(m.Items)))
-	off := 10
+	return size
+}
+
+func (m *FetchBatchResp) appendPayload(p []byte) []byte {
+	var b [10]byte
+	binary.BigEndian.PutUint64(b[0:8], m.RequestID)
+	binary.BigEndian.PutUint16(b[8:10], uint16(len(m.Items)))
+	p = append(p, b[:]...)
 	for _, it := range m.Items {
-		binary.BigEndian.PutUint32(p[off:off+4], it.Sample)
-		p[off+4] = it.Split
-		p[off+5] = uint8(it.Status)
-		binary.BigEndian.PutUint32(p[off+6:off+10], uint32(len(it.Artifact)))
-		copy(p[off+10:], it.Artifact)
-		off += 10 + len(it.Artifact)
+		var e [10]byte
+		binary.BigEndian.PutUint32(e[0:4], it.Sample)
+		e[4] = it.Split
+		e[5] = uint8(it.Status)
+		binary.BigEndian.PutUint32(e[6:10], uint32(len(it.Artifact)))
+		p = append(p, e[:]...)
+		p = append(p, it.Artifact...)
 	}
 	return p
 }
@@ -127,7 +135,7 @@ func (m *FetchBatchResp) decodePayload(p []byte) error {
 		if len(p) < off+10+alen {
 			return ErrTruncated
 		}
-		it.Artifact = append([]byte(nil), p[off+10:off+10+alen]...)
+		it.Artifact = copyArtifact(p[off+10 : off+10+alen])
 		m.Items = append(m.Items, it)
 		off += 10 + alen
 	}

@@ -28,8 +28,10 @@ func BenchmarkRoundTripFetchResp600KB(b *testing.B) {
 		if err := Write(&buf, m); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := Read(&buf); err != nil {
+		msg, err := Read(&buf)
+		if err != nil {
 			b.Fatal(err)
 		}
+		Recycle(msg) // return the pooled artifact, as the storage client does
 	}
 }

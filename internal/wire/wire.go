@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"repro/internal/bufpool"
 )
 
 // Protocol constants.
@@ -81,10 +83,15 @@ var (
 	ErrUnknownType = errors.New("wire: unknown message type")
 )
 
-// Message is any protocol message.
+// Message is any protocol message. Encoding is split into an exact size
+// query plus an append-style serializer so Write can frame a message into a
+// single pooled buffer without any per-message allocation.
 type Message interface {
 	Type() MsgType
-	encodePayload() []byte
+	// payloadSize returns the exact number of bytes appendPayload will add.
+	payloadSize() int
+	// appendPayload appends the encoded payload to p and returns it.
+	appendPayload(p []byte) []byte
 	decodePayload(p []byte) error
 }
 
@@ -170,11 +177,13 @@ func (*StatsReq) Type() MsgType  { return TypeStatsReq }
 func (*StatsResp) Type() MsgType { return TypeStatsResp }
 func (*ErrorResp) Type() MsgType { return TypeError }
 
-func (m *Hello) encodePayload() []byte {
-	p := make([]byte, 10)
-	binary.BigEndian.PutUint16(p[0:2], m.Version)
-	binary.BigEndian.PutUint64(p[2:10], m.JobID)
-	return p
+func (m *Hello) payloadSize() int { return 10 }
+
+func (m *Hello) appendPayload(p []byte) []byte {
+	var b [10]byte
+	binary.BigEndian.PutUint16(b[0:2], m.Version)
+	binary.BigEndian.PutUint64(b[2:10], m.JobID)
+	return append(p, b[:]...)
 }
 
 func (m *Hello) decodePayload(p []byte) error {
@@ -186,14 +195,15 @@ func (m *Hello) decodePayload(p []byte) error {
 	return nil
 }
 
-func (m *HelloAck) encodePayload() []byte {
-	name := []byte(m.DatasetName)
-	p := make([]byte, 2+4+2+len(name))
-	binary.BigEndian.PutUint16(p[0:2], m.Version)
-	binary.BigEndian.PutUint32(p[2:6], m.NumSamples)
-	binary.BigEndian.PutUint16(p[6:8], uint16(len(name)))
-	copy(p[8:], name)
-	return p
+func (m *HelloAck) payloadSize() int { return 8 + len(m.DatasetName) }
+
+func (m *HelloAck) appendPayload(p []byte) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint16(b[0:2], m.Version)
+	binary.BigEndian.PutUint32(b[2:6], m.NumSamples)
+	binary.BigEndian.PutUint16(b[6:8], uint16(len(m.DatasetName)))
+	p = append(p, b[:]...)
+	return append(p, m.DatasetName...)
 }
 
 func (m *HelloAck) decodePayload(p []byte) error {
@@ -210,13 +220,15 @@ func (m *HelloAck) decodePayload(p []byte) error {
 	return nil
 }
 
-func (m *Fetch) encodePayload() []byte {
-	p := make([]byte, 8+4+1+8)
-	binary.BigEndian.PutUint64(p[0:8], m.RequestID)
-	binary.BigEndian.PutUint32(p[8:12], m.Sample)
-	p[12] = m.Split
-	binary.BigEndian.PutUint64(p[13:21], m.Epoch)
-	return p
+func (m *Fetch) payloadSize() int { return 21 }
+
+func (m *Fetch) appendPayload(p []byte) []byte {
+	var b [21]byte
+	binary.BigEndian.PutUint64(b[0:8], m.RequestID)
+	binary.BigEndian.PutUint32(b[8:12], m.Sample)
+	b[12] = m.Split
+	binary.BigEndian.PutUint64(b[13:21], m.Epoch)
+	return append(p, b[:]...)
 }
 
 func (m *Fetch) decodePayload(p []byte) error {
@@ -230,15 +242,17 @@ func (m *Fetch) decodePayload(p []byte) error {
 	return nil
 }
 
-func (m *FetchResp) encodePayload() []byte {
-	p := make([]byte, 8+4+1+1+4+len(m.Artifact))
-	binary.BigEndian.PutUint64(p[0:8], m.RequestID)
-	binary.BigEndian.PutUint32(p[8:12], m.Sample)
-	p[12] = m.Split
-	p[13] = uint8(m.Status)
-	binary.BigEndian.PutUint32(p[14:18], uint32(len(m.Artifact)))
-	copy(p[18:], m.Artifact)
-	return p
+func (m *FetchResp) payloadSize() int { return 18 + len(m.Artifact) }
+
+func (m *FetchResp) appendPayload(p []byte) []byte {
+	var b [18]byte
+	binary.BigEndian.PutUint64(b[0:8], m.RequestID)
+	binary.BigEndian.PutUint32(b[8:12], m.Sample)
+	b[12] = m.Split
+	b[13] = uint8(m.Status)
+	binary.BigEndian.PutUint32(b[14:18], uint32(len(m.Artifact)))
+	p = append(p, b[:]...)
+	return append(p, m.Artifact...)
 }
 
 func (m *FetchResp) decodePayload(p []byte) error {
@@ -253,14 +267,16 @@ func (m *FetchResp) decodePayload(p []byte) error {
 	if len(p) != 18+n {
 		return ErrTruncated
 	}
-	m.Artifact = append([]byte(nil), p[18:18+n]...)
+	m.Artifact = copyArtifact(p[18 : 18+n])
 	return nil
 }
 
-func (m *StatsReq) encodePayload() []byte {
-	p := make([]byte, 8)
-	binary.BigEndian.PutUint64(p[0:8], m.RequestID)
-	return p
+func (m *StatsReq) payloadSize() int { return 8 }
+
+func (m *StatsReq) appendPayload(p []byte) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[0:8], m.RequestID)
+	return append(p, b[:]...)
 }
 
 func (m *StatsReq) decodePayload(p []byte) error {
@@ -271,14 +287,16 @@ func (m *StatsReq) decodePayload(p []byte) error {
 	return nil
 }
 
-func (m *StatsResp) encodePayload() []byte {
-	p := make([]byte, 40)
-	binary.BigEndian.PutUint64(p[0:8], m.RequestID)
-	binary.BigEndian.PutUint64(p[8:16], m.SamplesServed)
-	binary.BigEndian.PutUint64(p[16:24], m.OpsExecuted)
-	binary.BigEndian.PutUint64(p[24:32], m.BytesSent)
-	binary.BigEndian.PutUint64(p[32:40], m.ServerCPUNanos)
-	return p
+func (m *StatsResp) payloadSize() int { return 40 }
+
+func (m *StatsResp) appendPayload(p []byte) []byte {
+	var b [40]byte
+	binary.BigEndian.PutUint64(b[0:8], m.RequestID)
+	binary.BigEndian.PutUint64(b[8:16], m.SamplesServed)
+	binary.BigEndian.PutUint64(b[16:24], m.OpsExecuted)
+	binary.BigEndian.PutUint64(b[24:32], m.BytesSent)
+	binary.BigEndian.PutUint64(b[32:40], m.ServerCPUNanos)
+	return append(p, b[:]...)
 }
 
 func (m *StatsResp) decodePayload(p []byte) error {
@@ -293,14 +311,15 @@ func (m *StatsResp) decodePayload(p []byte) error {
 	return nil
 }
 
-func (m *ErrorResp) encodePayload() []byte {
-	msg := []byte(m.Message)
-	p := make([]byte, 8+2+2+len(msg))
-	binary.BigEndian.PutUint64(p[0:8], m.RequestID)
-	binary.BigEndian.PutUint16(p[8:10], uint16(m.Code))
-	binary.BigEndian.PutUint16(p[10:12], uint16(len(msg)))
-	copy(p[12:], msg)
-	return p
+func (m *ErrorResp) payloadSize() int { return 12 + len(m.Message) }
+
+func (m *ErrorResp) appendPayload(p []byte) []byte {
+	var b [12]byte
+	binary.BigEndian.PutUint64(b[0:8], m.RequestID)
+	binary.BigEndian.PutUint16(b[8:10], uint16(m.Code))
+	binary.BigEndian.PutUint16(b[10:12], uint16(len(m.Message)))
+	p = append(p, b[:]...)
+	return append(p, m.Message...)
 }
 
 func (m *ErrorResp) decodePayload(p []byte) error {
@@ -317,35 +336,73 @@ func (m *ErrorResp) decodePayload(p []byte) error {
 	return nil
 }
 
-// Write frames and sends one message.
+// copyArtifact copies an artifact payload into a pool-backed buffer so the
+// decoded message can outlive the transient frame buffer. Empty payloads
+// decode to nil, matching the historical encoding of "no artifact". The
+// caller owns the copy; Recycle returns it to the pool.
+func copyArtifact(p []byte) []byte {
+	if len(p) == 0 {
+		return nil
+	}
+	out := bufpool.GetBytes(len(p))
+	copy(out, p)
+	return out
+}
+
+// Write frames and sends one message: header and payload are assembled in a
+// single pooled buffer and issued as one w.Write, so the hot path performs
+// no allocation and one syscall per frame.
 func Write(w io.Writer, m Message) error {
-	payload := m.encodePayload()
-	if len(payload) > MaxFrameSize {
+	n := m.payloadSize()
+	if n > MaxFrameSize {
 		return ErrFrameTooBig
 	}
-	hdr := make([]byte, frameHeader)
+	buf := bufpool.GetBytes(frameHeader + n)[:0]
+	var hdr [frameHeader]byte
 	binary.BigEndian.PutUint32(hdr[0:4], Magic)
 	hdr[4] = uint8(m.Type())
 	hdr[5] = 0
-	binary.BigEndian.PutUint32(hdr[6:10], uint32(len(payload)))
-	if _, err := w.Write(hdr); err != nil {
-		return fmt.Errorf("wire: write header: %w", err)
-	}
-	if len(payload) > 0 {
-		if _, err := w.Write(payload); err != nil {
-			return fmt.Errorf("wire: write payload: %w", err)
-		}
+	binary.BigEndian.PutUint32(hdr[6:10], uint32(n))
+	buf = append(buf, hdr[:]...)
+	buf = m.appendPayload(buf)
+	_, err := w.Write(buf)
+	bufpool.PutBytes(buf)
+	if err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
 	}
 	return nil
 }
 
 // FrameSize returns the total on-wire bytes of a message — header plus
-// payload — for traffic accounting.
-func FrameSize(m Message) int { return frameHeader + len(m.encodePayload()) }
+// payload — for traffic accounting. It never allocates.
+func FrameSize(m Message) int { return frameHeader + m.payloadSize() }
+
+// Recycle returns a message's pooled payload buffers (fetch-response
+// artifacts) to the arena and clears them. Call it once the artifact bytes
+// have been fully consumed — e.g. after DecodeArtifact copied them out, or
+// after a server finished writing the frame. Safe on every message type;
+// messages without pooled payloads are no-ops.
+func Recycle(m Message) {
+	switch t := m.(type) {
+	case *FetchResp:
+		if t.Artifact != nil {
+			bufpool.PutBytes(t.Artifact)
+			t.Artifact = nil
+		}
+	case *FetchBatchResp:
+		for i := range t.Items {
+			if t.Items[i].Artifact != nil {
+				bufpool.PutBytes(t.Items[i].Artifact)
+				t.Items[i].Artifact = nil
+			}
+		}
+	}
+}
 
 // Read receives and decodes one message.
 func Read(r io.Reader) (Message, error) {
-	hdr := make([]byte, frameHeader)
+	hdr := bufpool.GetBytes(frameHeader)
+	defer bufpool.PutBytes(hdr)
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, err
 	}
@@ -359,12 +416,14 @@ func Read(r io.Reader) (Message, error) {
 	if size > math.MaxInt32 {
 		return nil, ErrFrameTooBig
 	}
-	payload := make([]byte, size)
+	msgType := MsgType(hdr[4])
+	payload := bufpool.GetBytes(int(size))
+	defer bufpool.PutBytes(payload)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, fmt.Errorf("wire: read payload: %w", err)
 	}
 	var m Message
-	switch MsgType(hdr[4]) {
+	switch msgType {
 	case TypeHello:
 		m = &Hello{}
 	case TypeHelloAck:
@@ -384,10 +443,10 @@ func Read(r io.Reader) (Message, error) {
 	case TypeFetchBatchResp:
 		m = &FetchBatchResp{}
 	default:
-		return nil, fmt.Errorf("%w: %d", ErrUnknownType, hdr[4])
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, uint8(msgType))
 	}
 	if err := m.decodePayload(payload); err != nil {
-		return nil, fmt.Errorf("wire: decode %s: %w", MsgType(hdr[4]), err)
+		return nil, fmt.Errorf("wire: decode %s: %w", msgType, err)
 	}
 	return m, nil
 }
