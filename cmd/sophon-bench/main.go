@@ -16,6 +16,14 @@
 // record per kernel — ns/op, B/op, allocs/op, MB/s — to the given file, then
 // exits without running the evaluation. These records are the input to the
 // allocation-regression tracking in BENCH_pr3.json.
+//
+// With -chaos.seed the command instead runs the deterministic chaos soak: a
+// trainer over a fault-injected sharded storage tier, checked against a
+// fault-free reference for bit-identical artifacts and exact failure
+// accounting. One JSON report per soak is written to stdout; -chaos.duration
+// keeps soaking with deterministically derived seeds until the budget runs
+// out, and -chaos.class picks the fault mix. A failing soak's report carries
+// the seed and plan digest needed to replay it exactly.
 package main
 
 import (
@@ -24,9 +32,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"repro/internal/eval"
 	"repro/internal/perfbench"
+	"repro/internal/soak"
 )
 
 type benchReport struct {
@@ -56,6 +66,36 @@ func writeBenchJSON(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// runChaos soaks until the duration budget is spent (always at least once),
+// printing one JSON report per run. Returns false if any soak failed.
+func runChaos(seed uint64, class string, duration time.Duration) bool {
+	cl, err := soak.ParseClass(class)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sophon-bench: %v\n", err)
+		return false
+	}
+	enc := json.NewEncoder(os.Stdout)
+	deadline := time.Now().Add(duration)
+	ok := true
+	for i := 0; ; i++ {
+		rep, err := soak.Run(soak.Config{Seed: seed, Class: cl})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sophon-bench: soak seed=%d: %v\n", seed, err)
+			return false
+		}
+		enc.Encode(rep)
+		if !rep.Ok() {
+			fmt.Fprintf(os.Stderr, "sophon-bench: soak seed=%d digest=%08x FAILED: %d mismatches, %d failed (want %d)\n",
+				seed, rep.Digest, rep.Mismatches, rep.Failed, rep.WantFailed)
+			ok = false
+		}
+		if !time.Now().Before(deadline) {
+			return ok
+		}
+		seed = seed*0x9E3779B97F4A7C15 + 1 // same derivation as the soak test suite
+	}
+}
+
 func main() {
 	seed := flag.Uint64("seed", 2024, "random seed for dataset generation")
 	openImages := flag.Int("openimages", 0, "OpenImages sample-count override (0 = paper scale, 40000)")
@@ -63,7 +103,17 @@ func main() {
 	out := flag.String("o", "", "write the report to this file instead of stdout")
 	csvDir := flag.String("csv", "", "also write one CSV per table into this directory")
 	jsonOut := flag.String("json", "", "run the data-plane micro-benchmarks and write BENCH records to this file (skips the evaluation)")
+	chaosSeed := flag.Uint64("chaos.seed", 0, "run the deterministic chaos soak with this fault seed instead of the evaluation")
+	chaosClass := flag.String("chaos.class", "mixed", "chaos soak fault class: none|delays|corrupt|mixed|partition")
+	chaosDuration := flag.Duration("chaos.duration", 0, "keep soaking with derived seeds until this much time has passed")
 	flag.Parse()
+
+	if *chaosSeed != 0 {
+		if !runChaos(*chaosSeed, *chaosClass, *chaosDuration) {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *jsonOut != "" {
 		if err := writeBenchJSON(*jsonOut); err != nil {

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/netsim"
 	"repro/internal/pipeline"
 	"repro/internal/simclock"
@@ -35,10 +36,15 @@ type Config struct {
 	// MaxInFlight bounds concurrently handled requests per connection on
 	// each server (0 → storage default).
 	MaxInFlight int
-	// Clock drives the link shapers; nil means real time.
+	// Clock drives the link shapers and chaos pauses; nil means real time.
 	Clock simclock.Clock
 	// Logger receives per-server connection errors; nil silences them.
 	Logger *log.Logger
+	// Chaos, when non-nil, wraps every shard's listener in a seeded fault
+	// injector: shard s's connections run the schedules of Chaos.Source(s),
+	// and the shard can be partitioned at runtime via PartitionShard. A nil
+	// plan leaves the fabric untouched (no wrapper at all).
+	Chaos *chaos.Plan
 }
 
 // Cluster is a running set of shard servers reachable over in-memory pipe
@@ -48,6 +54,7 @@ type Cluster struct {
 	m         *ShardMap
 	servers   []*storage.Server
 	listeners []*netsim.PipeListener
+	chaos     []*chaos.Listener // nil entries when Config.Chaos was nil
 
 	mu     sync.Mutex
 	killed []bool
@@ -100,8 +107,16 @@ func Launch(cfg Config) (*Cluster, error) {
 			}
 			serveL = netsim.ShapeListener(l, bucket)
 		}
+		var cl *chaos.Listener
+		if cfg.Chaos != nil {
+			// Chaos wraps outermost so faults hit whole frames as the server
+			// reads and writes them, before shaping chunks the bytes.
+			cl = chaos.WrapListener(serveL, cfg.Chaos.Source(s), cfg.Clock)
+			serveL = cl
+		}
 		c.servers = append(c.servers, srv)
 		c.listeners = append(c.listeners, l)
+		c.chaos = append(c.chaos, cl)
 		go srv.Serve(serveL)
 	}
 	return c, nil
@@ -165,6 +180,53 @@ func (c *Cluster) NewShardedClient(opts storage.ClientOptions, attempts int, bac
 		rc, err := storage.NewReconnecting(func() (*storage.Client, error) {
 			return c.DialShard(s, opts)
 		}, attempts, backoff, nil)
+		if err != nil {
+			for _, prev := range shards[:s] {
+				if prev != nil {
+					prev.Close()
+				}
+			}
+			return nil, fmt.Errorf("cluster: shard %d: %w", s, err)
+		}
+		shards[s] = rc
+	}
+	return NewShardedClient(c.m, shards, degraded)
+}
+
+// PartitionShard reversibly severs (on=true) or heals (on=false) shard s's
+// network while the server process stays alive — the partition half of the
+// fault model, distinct from the crash KillShard models. It errors when the
+// cluster was launched without a chaos plan.
+func (c *Cluster) PartitionShard(s int, on bool) error {
+	if s < 0 || s >= len(c.chaos) {
+		return fmt.Errorf("cluster: shard %d out of range", s)
+	}
+	if c.chaos[s] == nil {
+		return fmt.Errorf("cluster: shard %d launched without chaos; partitions need Config.Chaos", s)
+	}
+	c.chaos[s].Partition(on)
+	return nil
+}
+
+// ChaosStats returns shard s's injected-fault counters (zero snapshot when
+// the cluster runs without chaos).
+func (c *Cluster) ChaosStats(s int) chaos.StatsSnapshot {
+	if s < 0 || s >= len(c.chaos) || c.chaos[s] == nil {
+		return chaos.StatsSnapshot{}
+	}
+	return c.chaos[s].Source().Stats().Snapshot()
+}
+
+// NewShardedClientWithPolicy is NewShardedClient with a full retry policy —
+// jittered exponential backoff and a per-operation attempt budget — instead
+// of the constant-backoff legacy knobs.
+func (c *Cluster) NewShardedClientWithPolicy(opts storage.ClientOptions, policy storage.RetryPolicy, degraded bool) (*ShardedClient, error) {
+	shards := make([]ShardClient, len(c.servers))
+	for s := range c.servers {
+		s := s
+		rc, err := storage.NewReconnectingWithPolicy(func() (*storage.Client, error) {
+			return c.DialShard(s, opts)
+		}, policy, nil)
 		if err != nil {
 			for _, prev := range shards[:s] {
 				if prev != nil {

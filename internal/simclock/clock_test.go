@@ -129,26 +129,28 @@ func TestVirtualAdvanceToNext(t *testing.T) {
 
 func TestVirtualTieBreakFIFO(t *testing.T) {
 	v := NewVirtual(epoch)
-	order := make(chan int, 2)
 	a := v.After(time.Second)
 	b := v.After(time.Second)
-	var wg sync.WaitGroup
-	wg.Add(2)
-	go func() { defer wg.Done(); <-a; order <- 1 }()
-	// Give the first goroutine a head start on the receive so delivery
-	// order is observable; the heap releases in registration order.
-	time.Sleep(5 * time.Millisecond)
-	go func() { defer wg.Done(); <-b; order <- 2 }()
-	time.Sleep(5 * time.Millisecond)
 	v.Advance(time.Second)
-	wg.Wait()
-	close(order)
-	var got []int
-	for x := range order {
-		got = append(got, x)
+	// After channels are buffered, so both deliveries happened inside
+	// Advance — in registration order, by the heap's sequence tie-break —
+	// and the values are already waiting. No goroutines, no sleeps.
+	want := epoch.Add(time.Second)
+	select {
+	case ta := <-a:
+		if !ta.Equal(want) {
+			t.Fatalf("waiter a fired at %v, want %v", ta, want)
+		}
+	default:
+		t.Fatal("tied waiter a not released by Advance")
 	}
-	if len(got) != 2 {
-		t.Fatalf("released %d waiters, want 2", len(got))
+	select {
+	case tb := <-b:
+		if !tb.Equal(want) {
+			t.Fatalf("waiter b fired at %v, want %v", tb, want)
+		}
+	default:
+		t.Fatal("tied waiter b not released by Advance")
 	}
 }
 

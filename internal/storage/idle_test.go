@@ -50,13 +50,18 @@ func TestIdleTimeoutDropsSilentClients(t *testing.T) {
 	}
 	defer active.Close()
 
-	// Keep the active client busy past the idle window.
-	deadline := time.Now().Add(400 * time.Millisecond)
-	for time.Now().Before(deadline) {
+	// Keep the active client busy until the server demonstrably reaps the
+	// silent one — the connection gauge dropping to 1 is the condition, so
+	// the test waits on observable state, not on a wall-clock guess.
+	ctr := srv.Counters()
+	deadline := time.Now().Add(10 * time.Second)
+	for ctr.Connections.Load() > 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("idle reaper never fired: %d connections open", ctr.Connections.Load())
+		}
 		if _, err := active.Fetch(context.Background(), 0, 0, 1); err != nil {
 			t.Fatalf("active client dropped: %v", err)
 		}
-		time.Sleep(20 * time.Millisecond)
 	}
 
 	// The silent client's connection must be gone by now.

@@ -4,12 +4,120 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"sync"
 	"time"
 
 	"repro/internal/simclock"
 	"repro/internal/wire"
 )
+
+// Defaults for the zero-value RetryPolicy.
+const (
+	DefaultRetryAttempts = 4
+	DefaultRetryBase     = 10 * time.Millisecond
+	DefaultRetryMax      = 2 * time.Second
+	DefaultRetryMult     = 2.0
+	DefaultRetryJitter   = 0.2
+)
+
+// RetryPolicy is a per-request retry budget with jittered exponential
+// backoff. The zero value resolves to sane defaults (Normalized documents
+// them); a negative BaseBackoff, MaxBackoff, or Jitter explicitly disables
+// that knob, which is how "retry immediately, no jitter" is spelled.
+type RetryPolicy struct {
+	// Attempts is the per-operation try budget (0 → 4). The first try
+	// counts, so Attempts=1 means no retries.
+	Attempts int
+	// BaseBackoff is the pause before the first retry (0 → 10ms, <0 → none).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (0 → 2s, <0 → no pause cap
+	// beyond BaseBackoff).
+	MaxBackoff time.Duration
+	// Multiplier grows the pause between consecutive retries (0 → 2.0;
+	// values below 1 clamp to 1, i.e. constant backoff).
+	Multiplier float64
+	// Jitter spreads each pause uniformly across ±Jitter·pause to keep
+	// concurrent retriers from stampeding in lockstep (0 → 0.2, <0 → none,
+	// >1 clamps to 1).
+	Jitter float64
+}
+
+// Normalized resolves zero fields to defaults and clamps out-of-range
+// values. Backoff and the retry loop always operate on a normalized policy.
+func (p RetryPolicy) Normalized() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = DefaultRetryAttempts
+	}
+	switch {
+	case p.BaseBackoff == 0:
+		p.BaseBackoff = DefaultRetryBase
+	case p.BaseBackoff < 0:
+		p.BaseBackoff = 0
+	}
+	switch {
+	case p.MaxBackoff == 0:
+		p.MaxBackoff = DefaultRetryMax
+	case p.MaxBackoff < 0:
+		p.MaxBackoff = 0
+	}
+	if p.MaxBackoff < p.BaseBackoff {
+		p.MaxBackoff = p.BaseBackoff
+	}
+	switch {
+	case p.Multiplier == 0:
+		p.Multiplier = DefaultRetryMult
+	case p.Multiplier < 1:
+		p.Multiplier = 1
+	}
+	switch {
+	case p.Jitter == 0:
+		p.Jitter = DefaultRetryJitter
+	case p.Jitter < 0:
+		p.Jitter = 0
+	case p.Jitter > 1:
+		p.Jitter = 1
+	}
+	return p
+}
+
+// Backoff returns the pause before retry number retry (1-based: retry 1
+// follows the first failed attempt). u in [0,1) supplies the jitter draw, so
+// the function stays pure and table-testable; the result always lies within
+// ±Jitter of the unjittered exponential value, capped at MaxBackoff.
+func (p RetryPolicy) Backoff(retry int, u float64) time.Duration {
+	p = p.Normalized()
+	if retry < 1 || p.BaseBackoff == 0 {
+		return 0
+	}
+	d := float64(p.BaseBackoff)
+	max := float64(p.MaxBackoff)
+	for i := 1; i < retry && d < max; i++ {
+		d *= p.Multiplier
+	}
+	if d > max {
+		d = max
+	}
+	d *= 1 + p.Jitter*(2*u-1)
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// sleepCtx pauses for d on clock, aborting early with ctx's error if the
+// caller cancels mid-backoff.
+func sleepCtx(ctx context.Context, clock simclock.Clock, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	select {
+	case <-clock.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // ReconnectingClient wraps a dialer with transparent reconnect-and-retry:
 // when an operation fails on the current session, the session is torn down,
@@ -23,10 +131,9 @@ import (
 // several in-flight operations fail on the same broken session, only the
 // first tears it down and the rest simply retry on the replacement.
 type ReconnectingClient struct {
-	dial     func() (*Client, error)
-	attempts int
-	backoff  time.Duration
-	clock    simclock.Clock
+	dial   func() (*Client, error)
+	policy RetryPolicy // always normalized
+	clock  simclock.Clock
 
 	// Handshake facts cached at construction so they remain available
 	// while the session is down between retries.
@@ -38,17 +145,34 @@ type ReconnectingClient struct {
 	gen     int64
 	closed  bool
 	retries int64
+	rng     *rand.Rand // jitter draws, guarded by mu
 }
 
 // NewReconnecting dials eagerly and returns a client that survives
 // connection failures. attempts is the per-operation try count (≥ 1);
-// backoff is the pause before each redial.
+// backoff is the constant pause before each redial (no growth, no jitter).
+// For jittered exponential backoff use NewReconnectingWithPolicy.
 func NewReconnecting(dial func() (*Client, error), attempts int, backoff time.Duration, clock simclock.Clock) (*ReconnectingClient, error) {
-	if dial == nil {
-		return nil, errors.New("storage: nil dialer")
-	}
 	if attempts < 1 {
 		return nil, fmt.Errorf("storage: attempts %d < 1", attempts)
+	}
+	if backoff <= 0 {
+		backoff = -1 // explicit "no pause", not "use the default"
+	}
+	return NewReconnectingWithPolicy(dial, RetryPolicy{
+		Attempts:    attempts,
+		BaseBackoff: backoff,
+		MaxBackoff:  backoff,
+		Multiplier:  1,
+		Jitter:      -1,
+	}, clock)
+}
+
+// NewReconnectingWithPolicy dials eagerly and returns a client whose retry
+// loop follows policy (zero fields resolve to defaults, see RetryPolicy).
+func NewReconnectingWithPolicy(dial func() (*Client, error), policy RetryPolicy, clock simclock.Clock) (*ReconnectingClient, error) {
+	if dial == nil {
+		return nil, errors.New("storage: nil dialer")
 	}
 	if clock == nil {
 		clock = simclock.Real()
@@ -57,16 +181,23 @@ func NewReconnecting(dial func() (*Client, error), attempts int, backoff time.Du
 	if err != nil {
 		return nil, err
 	}
+	p := policy.Normalized()
 	return &ReconnectingClient{
 		dial:        dial,
-		attempts:    attempts,
-		backoff:     backoff,
+		policy:      p,
 		clock:       clock,
 		datasetName: first.DatasetName(),
 		numSamples:  first.NumSamples(),
 		current:     first,
+		// The jitter stream is seeded from the policy shape only, so runs
+		// are reproducible given the same call sequence; jitter spreads
+		// concurrent retriers, it is not a correctness input.
+		rng: rand.New(rand.NewPCG(uint64(p.Attempts)<<32^uint64(p.BaseBackoff), uint64(p.MaxBackoff))),
 	}, nil
 }
+
+// Policy returns the client's normalized retry policy.
+func (r *ReconnectingClient) Policy() RetryPolicy { return r.policy }
 
 // Retries reports how many reconnects have happened.
 func (r *ReconnectingClient) Retries() int64 {
@@ -93,9 +224,6 @@ func (r *ReconnectingClient) acquire() (*Client, int64, error) {
 	if r.current != nil {
 		return r.current, r.gen, nil
 	}
-	if r.backoff > 0 {
-		r.clock.Sleep(r.backoff)
-	}
 	next, err := r.dial()
 	if err != nil {
 		return nil, 0, err
@@ -120,12 +248,20 @@ func (r *ReconnectingClient) invalidate(gen int64) {
 }
 
 // withRetry runs op against the current session, reconnecting between
-// attempts. Application-level rejections (missing sample, bad split) and
-// caller cancellation are returned immediately — only transport-level
-// errors trigger a retry.
+// attempts with jittered exponential backoff. Application-level rejections
+// (missing sample, bad split) and caller cancellation are returned
+// immediately — only transport-level errors trigger a retry. Checksum
+// failures (wire.ErrChecksum) are transport-level by construction: a
+// corrupted frame never decodes into a wrong result, it tears the session
+// down and lands here as a retryable error.
 func (r *ReconnectingClient) withRetry(ctx context.Context, op func(*Client) error) error {
 	var lastErr error
-	for try := 0; try < r.attempts; try++ {
+	for try := 0; try < r.policy.Attempts; try++ {
+		if try > 0 {
+			if err := sleepCtx(ctx, r.clock, r.policy.Backoff(try, r.jitterDraw())); err != nil {
+				return fmt.Errorf("storage: %w during retry backoff (last error: %v)", err, lastErr)
+			}
+		}
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -147,7 +283,14 @@ func (r *ReconnectingClient) withRetry(ctx context.Context, op func(*Client) err
 		lastErr = err
 		r.invalidate(gen)
 	}
-	return fmt.Errorf("storage: giving up after %d attempts: %w", r.attempts, lastErr)
+	return fmt.Errorf("storage: giving up after %d attempts: %w", r.policy.Attempts, lastErr)
+}
+
+// jitterDraw returns the next uniform draw in [0,1) for backoff jitter.
+func (r *ReconnectingClient) jitterDraw() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rng.Float64()
 }
 
 // isPermanent reports whether the server rejected the request itself (no

@@ -219,10 +219,18 @@ func TestSessionRequestTimeout(t *testing.T) {
 	}
 
 	// A caller's own cancellation is reported as such, not as a timeout.
+	// The fake server signals once the request frame has arrived, so the
+	// cancel provably lands while the fetch is in flight.
+	sawFetch := make(chan struct{})
 	c2, err := NewClientWithOptions(fakeServer(t, func(server net.Conn) {
+		first := true
 		for {
 			if _, err := wire.Read(server); err != nil {
 				return
+			}
+			if first {
+				first = false
+				close(sawFetch)
 			}
 		}
 	}), ClientOptions{JobID: 1, RequestTimeout: 10 * time.Second})
@@ -232,7 +240,7 @@ func TestSessionRequestTimeout(t *testing.T) {
 	defer c2.Close()
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
-		time.Sleep(20 * time.Millisecond)
+		<-sawFetch
 		cancel()
 	}()
 	if _, err := c2.Fetch(ctx, 1, 0, 1); !errors.Is(err, context.Canceled) {

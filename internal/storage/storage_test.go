@@ -367,7 +367,17 @@ func TestServerCloseIdempotentAndRejectsServe(t *testing.T) {
 	l := netsim.NewPipeListener()
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(l) }()
-	time.Sleep(10 * time.Millisecond)
+	// Prove Serve is accepting before closing: a completed handshake has
+	// round-tripped through the accept loop, no timing assumption needed.
+	conn, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := NewClient(conn, 1)
+	if err != nil {
+		t.Fatalf("server not serving: %v", err)
+	}
+	probe.Close()
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,110 @@ import (
 	"testing"
 )
 
+// FuzzRoundTrip drives the codec from the message side: arbitrary field
+// values — including multi-item batches, whose response reassembly slices one
+// artifact pool into per-item payloads — must encode and decode losslessly.
+// FuzzRead/FuzzDecode fuzz the parser with raw bytes; this target fuzzes the
+// encoder with raw values, so the two meet in the middle.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint32(2), uint8(3), uint64(4), []byte("artifact"), uint8(2), "dataset")
+	f.Add(uint64(0), uint32(0), uint8(0), uint64(0), []byte{}, uint8(0), "")
+	f.Add(^uint64(0), ^uint32(0), uint8(255), ^uint64(0), bytes.Repeat([]byte{0xA5}, 300), uint8(64), "x")
+
+	f.Fuzz(func(t *testing.T, reqID uint64, sample uint32, split uint8, epoch uint64, artifact []byte, items uint8, name string) {
+		check := func(m Message) Message {
+			var buf bytes.Buffer
+			if err := Write(&buf, m); err != nil {
+				if len(artifact) > MaxFrameSize/2 {
+					return nil // oversized frames may legitimately be refused
+				}
+				t.Fatalf("Write %T: %v", m, err)
+			}
+			if buf.Len() != FrameSize(m) {
+				t.Fatalf("%T: FrameSize %d, encoder wrote %d", m, FrameSize(m), buf.Len())
+			}
+			out, err := Read(&buf)
+			if err != nil {
+				t.Fatalf("Read %T: %v", m, err)
+			}
+			if buf.Len() != 0 {
+				t.Fatalf("%T left %d trailing bytes", m, buf.Len())
+			}
+			return out
+		}
+
+		if len(name) <= 0xFFFF {
+			in := &HelloAck{Version: uint16(reqID), DatasetName: name, NumSamples: sample}
+			got := check(in).(*HelloAck)
+			if *got != *in {
+				t.Fatalf("HelloAck %+v -> %+v", in, got)
+			}
+		}
+
+		{
+			in := &Fetch{RequestID: reqID, Sample: sample, Split: split, Epoch: epoch}
+			got := check(in).(*Fetch)
+			if *got != *in {
+				t.Fatalf("Fetch %+v -> %+v", in, got)
+			}
+		}
+
+		{
+			in := &FetchResp{RequestID: reqID, Sample: sample, Split: split, Status: FetchStatus(split % 4), Artifact: artifact}
+			got := check(in).(*FetchResp)
+			if got == nil {
+				return
+			}
+			if got.RequestID != in.RequestID || got.Sample != in.Sample ||
+				got.Split != in.Split || got.Status != in.Status || !bytes.Equal(got.Artifact, in.Artifact) {
+				t.Fatalf("FetchResp %+v -> %+v", in, got)
+			}
+		}
+
+		// Batch request and response: n items sliced out of the artifact
+		// bytes so each item carries a distinct payload, exercising the
+		// reassembly offsets item by item.
+		n := int(items)%MaxBatchItems + 1
+		req := &FetchBatch{RequestID: reqID, Epoch: epoch, Items: make([]FetchBatchItem, n)}
+		resp := &FetchBatchResp{RequestID: reqID, Items: make([]FetchBatchRespItem, n)}
+		for i := 0; i < n; i++ {
+			req.Items[i] = FetchBatchItem{Sample: sample + uint32(i), Split: split + uint8(i)}
+			var part []byte
+			if len(artifact) > 0 {
+				lo := i * len(artifact) / n
+				hi := (i + 1) * len(artifact) / n
+				part = artifact[lo:hi]
+			}
+			resp.Items[i] = FetchBatchRespItem{
+				Sample: sample + uint32(i), Split: split + uint8(i),
+				Status: FetchStatus(uint8(i) % 4), Artifact: part,
+			}
+		}
+		gotReq := check(req).(*FetchBatch)
+		if gotReq.RequestID != req.RequestID || gotReq.Epoch != req.Epoch || len(gotReq.Items) != n {
+			t.Fatalf("FetchBatch %+v -> %+v", req, gotReq)
+		}
+		for i := range req.Items {
+			if gotReq.Items[i] != req.Items[i] {
+				t.Fatalf("FetchBatch item %d: %+v -> %+v", i, req.Items[i], gotReq.Items[i])
+			}
+		}
+		gotResp := check(resp).(*FetchBatchResp)
+		if gotResp == nil {
+			return
+		}
+		if gotResp.RequestID != resp.RequestID || len(gotResp.Items) != n {
+			t.Fatalf("FetchBatchResp %+v -> %+v", resp, gotResp)
+		}
+		for i := range resp.Items {
+			a, b := resp.Items[i], gotResp.Items[i]
+			if a.Sample != b.Sample || a.Split != b.Split || a.Status != b.Status || !bytes.Equal(a.Artifact, b.Artifact) {
+				t.Fatalf("FetchBatchResp item %d: %+v -> %+v", i, a, b)
+			}
+		}
+	})
+}
+
 // FuzzRead throws arbitrary bytes at the frame parser: it must never panic,
 // and any frame it accepts must re-encode to the same bytes.
 func FuzzRead(f *testing.F) {

@@ -1,10 +1,15 @@
 // Package wire defines the binary protocol between the compute-node client
 // and the storage server (the paper used gRPC; this is a dependency-free
 // framed equivalent). Each frame is: 4-byte magic, 1-byte message type,
-// 1-byte reserved flags, 4-byte big-endian payload length, payload. A Fetch
+// 1-byte flags, 4-byte big-endian payload length, 4-byte CRC32-C checksum
+// over the type, flags, length, and payload, then the payload. A Fetch
 // carries the offload directive — the number of pipeline ops the server
 // should execute before replying — plus the epoch so the server derives the
 // exact augmentation seeds the client would have used locally.
+//
+// The checksum turns silent corruption on the link into ErrChecksum, a
+// typed transport-level error: a corrupted frame can tear the session down
+// and be retried, but can never decode into a wrong artifact.
 //
 // Protocol version 2 makes the connection a multiplexed session: every
 // request and response carries a RequestID, responses to distinct requests
@@ -19,6 +24,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -31,9 +37,21 @@ const (
 	// Version 2: responses carry RequestIDs everywhere (including Stats and
 	// Error frames) and may be delivered out of order.
 	Version      = 2
-	frameHeader  = 10
+	frameHeader  = 14
 	MaxFrameSize = 64 << 20 // generous bound: a 224² tensor is ~600 KB
+	// HeaderSize is the exported on-wire frame-header length: magic (4),
+	// type (1), flags (1), payload length (4), CRC32-C (4).
+	HeaderSize = frameHeader
+	// FlagChecksum marks a frame whose header carries a CRC32-C over the
+	// type, flags, length, and payload. Every frame this package writes sets
+	// it; Read verifies the checksum unconditionally, so the flag is
+	// self-description for wire sniffers, not an opt-out.
+	FlagChecksum = 0x01
 )
+
+// castagnoli is the CRC32-C table used for frame checksums (hardware
+// accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // MsgType identifies a frame's payload structure.
 type MsgType uint8
@@ -81,6 +99,11 @@ var (
 	ErrFrameTooBig = errors.New("wire: frame exceeds MaxFrameSize")
 	ErrTruncated   = errors.New("wire: truncated payload")
 	ErrUnknownType = errors.New("wire: unknown message type")
+	// ErrChecksum reports a frame whose CRC32-C does not match its contents:
+	// the bytes were corrupted in flight. It is a transport-level error — the
+	// session is poisoned and the request retryable — never an application
+	// rejection, so a retry layer must treat it like a broken connection.
+	ErrChecksum = errors.New("wire: frame checksum mismatch")
 )
 
 // Message is any protocol message. Encoding is split into an exact size
@@ -361,10 +384,15 @@ func Write(w io.Writer, m Message) error {
 	var hdr [frameHeader]byte
 	binary.BigEndian.PutUint32(hdr[0:4], Magic)
 	hdr[4] = uint8(m.Type())
-	hdr[5] = 0
+	hdr[5] = FlagChecksum
 	binary.BigEndian.PutUint32(hdr[6:10], uint32(n))
 	buf = append(buf, hdr[:]...)
 	buf = m.appendPayload(buf)
+	// CRC32-C over type, flags, length, and payload; magic and the checksum
+	// field itself are excluded.
+	crc := crc32.Update(0, castagnoli, buf[4:10])
+	crc = crc32.Update(crc, castagnoli, buf[frameHeader:])
+	binary.BigEndian.PutUint32(buf[10:14], crc)
 	_, err := w.Write(buf)
 	bufpool.PutBytes(buf)
 	if err != nil {
@@ -421,6 +449,13 @@ func Read(r io.Reader) (Message, error) {
 	defer bufpool.PutBytes(payload)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, fmt.Errorf("wire: read payload: %w", err)
+	}
+	// Verify integrity before any decoding: a corrupted frame must surface
+	// as the typed ErrChecksum, never as a plausibly-decoded wrong message.
+	crc := crc32.Update(0, castagnoli, hdr[4:10])
+	crc = crc32.Update(crc, castagnoli, payload)
+	if got := binary.BigEndian.Uint32(hdr[10:14]); got != crc {
+		return nil, fmt.Errorf("%w: frame claims %08x, contents hash %08x", ErrChecksum, got, crc)
 	}
 	var m Message
 	switch msgType {

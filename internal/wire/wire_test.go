@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"io"
 	"testing"
 	"testing/quick"
@@ -112,6 +113,21 @@ func TestSequentialMessagesOnOneStream(t *testing.T) {
 	}
 }
 
+// rawFrame assembles a frame by hand — including a valid checksum — so
+// decode-level rejections can be exercised without the real encoder.
+func rawFrame(mt MsgType, payload []byte) []byte {
+	b := make([]byte, HeaderSize+len(payload))
+	binary.BigEndian.PutUint32(b[0:4], Magic)
+	b[4] = uint8(mt)
+	b[5] = FlagChecksum
+	binary.BigEndian.PutUint32(b[6:10], uint32(len(payload)))
+	copy(b[HeaderSize:], payload)
+	crc := crc32.Update(0, crc32.MakeTable(crc32.Castagnoli), b[4:10])
+	crc = crc32.Update(crc, crc32.MakeTable(crc32.Castagnoli), payload)
+	binary.BigEndian.PutUint32(b[10:14], crc)
+	return b
+}
+
 func TestReadRejectsBadMagic(t *testing.T) {
 	var buf bytes.Buffer
 	Write(&buf, &StatsReq{})
@@ -123,22 +139,51 @@ func TestReadRejectsBadMagic(t *testing.T) {
 }
 
 func TestReadRejectsUnknownType(t *testing.T) {
-	var buf bytes.Buffer
-	Write(&buf, &StatsReq{})
-	b := buf.Bytes()
-	b[4] = 200
+	// The checksum must be valid so the unknown-type check is what fires.
+	b := rawFrame(MsgType(200), make([]byte, 8))
 	if _, err := Read(bytes.NewReader(b)); !errors.Is(err, ErrUnknownType) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestReadRejectsOversizedFrame(t *testing.T) {
-	b := make([]byte, 10)
+	b := make([]byte, HeaderSize)
 	binary.BigEndian.PutUint32(b[0:4], Magic)
 	b[4] = uint8(TypeFetch)
 	binary.BigEndian.PutUint32(b[6:10], MaxFrameSize+1)
 	if _, err := Read(bytes.NewReader(b)); !errors.Is(err, ErrFrameTooBig) {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestReadRejectsCorruption flips every byte of a frame in turn (except the
+// magic, whose corruption is reported as ErrBadMagic, and the length field,
+// which desyncs framing): each flip must surface as a typed error — almost
+// always ErrChecksum — and never as a successfully decoded message.
+func TestReadRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &FetchResp{RequestID: 3, Sample: 9, Status: FetchOK, Artifact: []byte{1, 2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+	for i := range pristine {
+		if i >= 6 && i < 10 {
+			continue // length field: corruption shifts framing, tested elsewhere
+		}
+		b := append([]byte(nil), pristine...)
+		b[i] ^= 0x40
+		msg, err := Read(bytes.NewReader(b))
+		if err == nil {
+			t.Fatalf("flip at byte %d decoded silently as %s", i, msg.Type())
+		}
+		if i >= 4 && !errors.Is(err, ErrChecksum) {
+			t.Fatalf("flip at byte %d: err = %v, want ErrChecksum", i, err)
+		}
+	}
+	// The pristine frame still parses — the loop above didn't depend on a
+	// broken fixture.
+	if _, err := Read(bytes.NewReader(pristine)); err != nil {
+		t.Fatalf("pristine frame rejected: %v", err)
 	}
 }
 
@@ -158,15 +203,9 @@ func TestReadTruncatedHeaderAndPayload(t *testing.T) {
 }
 
 func TestDecodeRejectsWrongPayloadSizes(t *testing.T) {
-	// Craft frames whose declared type disagrees with payload length.
-	mk := func(mt MsgType, payload []byte) []byte {
-		b := make([]byte, 10+len(payload))
-		binary.BigEndian.PutUint32(b[0:4], Magic)
-		b[4] = uint8(mt)
-		binary.BigEndian.PutUint32(b[6:10], uint32(len(payload)))
-		copy(b[10:], payload)
-		return b
-	}
+	// Craft frames whose declared type disagrees with payload length; the
+	// checksums are valid so the decode check is what rejects them.
+	mk := rawFrame
 	cases := map[string][]byte{
 		"hello short":     mk(TypeHello, make([]byte, 3)),
 		"fetch long":      mk(TypeFetch, make([]byte, 30)),
