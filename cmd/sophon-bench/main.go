@@ -17,6 +17,11 @@
 // exits without running the evaluation. These records are the input to the
 // allocation-regression tracking in BENCH_pr3.json.
 //
+// With -adaptive the command instead runs the adaptive control-plane
+// scenario — the storage link reshaped 500→250 Mbps mid-run, the controller
+// replanning at the next epoch boundary — and writes a JSON report comparing
+// adaptive, static, and oracle epoch times (the contents of BENCH_pr5.json).
+//
 // With -chaos.seed the command instead runs the deterministic chaos soak: a
 // trainer over a fault-injected sharded storage tier, checked against a
 // fault-free reference for bit-identical artifacts and exact failure
@@ -34,8 +39,15 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/eval"
+	"repro/internal/gpu"
+	"repro/internal/netsim"
 	"repro/internal/perfbench"
+	"repro/internal/policy"
+	"repro/internal/profiler"
 	"repro/internal/soak"
 )
 
@@ -58,6 +70,115 @@ func writeBenchJSON(path string) error {
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		Results:   results,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// adaptiveReport is the JSON shape of the adaptive control-plane scenario:
+// the link is reshaped 500→250 Mbps after epoch 2 and the adaptive run is
+// compared against the frozen initial plan and against an oracle planned
+// directly for the degraded link.
+type adaptiveReport struct {
+	Kind        string  `json:"kind"` // always "BENCH"
+	PR          int     `json:"pr"`
+	Description string  `json:"description"`
+	GoVersion   string  `json:"go_version"`
+	Samples     int     `json:"samples"`
+	BaseMbps    float64 `json:"base_mbps"`
+	ReshapeMbps float64 `json:"reshape_mbps"`
+	// ReshapeEpoch is the first epoch the degraded link applies to.
+	ReshapeEpoch uint64             `json:"reshape_epoch"`
+	Adaptive     []core.SimEpoch    `json:"adaptive_epochs"`
+	Static       []core.SimEpoch    `json:"static_epochs"`
+	History      []core.ReplanEvent `json:"replan_history"`
+	// OracleEpochSeconds is one degraded epoch under the oracle plan.
+	OracleEpochSeconds float64 `json:"oracle_epoch_seconds"`
+	// AdaptiveVsOracle and StaticVsAdaptive summarize the post-replan tail:
+	// mean epoch-time ratios (1.0 = parity; lower is better for the first).
+	AdaptiveVsOracle float64 `json:"adaptive_vs_oracle"`
+	StaticVsAdaptive float64 `json:"static_vs_adaptive"`
+}
+
+func writeAdaptiveJSON(path string, seed uint64) error {
+	tr, err := dataset.GenerateTrace(dataset.OpenImages12G().ScaledTo(2000), seed)
+	if err != nil {
+		return err
+	}
+	// Two storage cores keep the offload crossover bandwidth-dependent (with
+	// plentiful cores the same plan is optimal at every link rate and the
+	// scenario shows nothing).
+	env := policy.Env{
+		Bandwidth:       netsim.Mbps(500),
+		ComputeCores:    48,
+		StorageCores:    2,
+		StorageSlowdown: 1,
+		GPU:             gpu.AlexNet,
+	}
+	const epochs = 6
+	const reshapeEpoch = 3
+	degraded := env
+	degraded.Bandwidth = netsim.Mbps(250)
+	envAt := func(e uint64) policy.Env {
+		if e >= reshapeEpoch {
+			return degraded
+		}
+		return env
+	}
+	cfg := core.SimConfig{
+		Trace: tr, Env: env, Epochs: epochs, EnvAt: envAt, Adaptive: true,
+		Drift: profiler.DriftConfig{Alpha: 1, RelThreshold: 0.2, Hysteresis: 1},
+	}
+	adaptive, err := core.RunAdaptiveSim(cfg)
+	if err != nil {
+		return err
+	}
+	staticCfg := cfg
+	staticCfg.Adaptive = false
+	static, err := core.RunAdaptiveSim(staticCfg)
+	if err != nil {
+		return err
+	}
+	oracleDecision, err := core.New().Decide(tr, degraded)
+	if err != nil {
+		return err
+	}
+	oracle, err := engine.Run(engine.Config{Trace: tr, Plan: oracleDecision.Plan, Env: degraded})
+	if err != nil {
+		return err
+	}
+
+	// Post-replan tail: every epoch after the boundary the replan landed on.
+	tailFrom := adaptive.History[len(adaptive.History)-1].Epoch
+	var aSum, sSum, n float64
+	for i := range adaptive.Epochs {
+		if adaptive.Epochs[i].Epoch < tailFrom {
+			continue
+		}
+		aSum += adaptive.Epochs[i].EpochTime.Seconds()
+		sSum += static.Epochs[i].EpochTime.Seconds()
+		n++
+	}
+	report := adaptiveReport{
+		Kind: "BENCH",
+		PR:   5,
+		Description: "Adaptive control plane: link reshaped 500→250 Mbps after epoch 2; " +
+			"the controller replans at the next boundary and converges on the oracle plan. " +
+			"Regenerate with `sophon-bench -adaptive <file>`.",
+		GoVersion:          runtime.Version(),
+		Samples:            tr.N(),
+		BaseMbps:           500,
+		ReshapeMbps:        250,
+		ReshapeEpoch:       reshapeEpoch,
+		Adaptive:           adaptive.Epochs,
+		Static:             static.Epochs,
+		History:            adaptive.History,
+		OracleEpochSeconds: oracle.EpochTime.Seconds(),
+		AdaptiveVsOracle:   aSum / (n * oracle.EpochTime.Seconds()),
+		StaticVsAdaptive:   sSum / aSum,
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -106,7 +227,17 @@ func main() {
 	chaosSeed := flag.Uint64("chaos.seed", 0, "run the deterministic chaos soak with this fault seed instead of the evaluation")
 	chaosClass := flag.String("chaos.class", "mixed", "chaos soak fault class: none|delays|corrupt|mixed|partition")
 	chaosDuration := flag.Duration("chaos.duration", 0, "keep soaking with derived seeds until this much time has passed")
+	adaptiveOut := flag.String("adaptive", "", "run the adaptive control-plane scenario (500→250 Mbps reshape) and write the JSON report to this file (skips the evaluation)")
 	flag.Parse()
+
+	if *adaptiveOut != "" {
+		if err := writeAdaptiveJSON(*adaptiveOut, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "sophon-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "sophon-bench: adaptive scenario written to %s\n", *adaptiveOut)
+		return
+	}
 
 	if *chaosSeed != 0 {
 		if !runChaos(*chaosSeed, *chaosClass, *chaosDuration) {

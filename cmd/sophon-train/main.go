@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/dataset"
 	"repro/internal/gpu"
 	"repro/internal/netsim"
 	"repro/internal/persist"
@@ -70,6 +71,9 @@ func main() {
 	attempts := flag.Int("attempts", 3, "per-operation tries on each shard session before giving up")
 	backoff := flag.Duration("backoff", 100*time.Millisecond, "pause before each shard redial")
 	degraded := flag.Bool("degraded", false, "degraded mode: skip samples of unreachable shards instead of aborting the epoch")
+	adaptive := flag.Bool("adaptive", false, "adaptive control plane: re-probe the link each epoch and replan on drift (sophon policies only)")
+	driftThreshold := flag.Float64("drift-threshold", 0, "relative change that counts as drift (0 = default 0.2)")
+	driftHysteresis := flag.Int("drift-hysteresis", 0, "consecutive drifted epochs before replanning (0 = default 2)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "sophon-train: ", log.LstdFlags)
@@ -116,7 +120,7 @@ func main() {
 	}
 
 	trainer, err := trainsim.New(trainsim.Config{
-		DialClient: dial,
+		DialClient:     dial,
 		Workers:        *workers,
 		ComputeCores:   *computeCores,
 		Pipeline:       pipeline.Standard(pipeline.StandardOptions{CropSize: *crop, FlipP: -1}),
@@ -136,14 +140,19 @@ func main() {
 
 	// Precomputed plan: skip profiling entirely.
 	if *planFile != "" {
-		plan, err := persist.LoadPlan(*planFile)
+		plan, meta, err := persist.LoadPlanVersioned(*planFile)
 		if err != nil {
 			logger.Fatal(err)
 		}
 		if plan.N() != trainer.N() {
 			logger.Fatalf("plan covers %d samples, dataset has %d", plan.N(), trainer.N())
 		}
-		logger.Printf("loaded plan %q: %d samples offloaded", plan.Name, plan.OffloadedCount())
+		if meta.Version > 0 {
+			logger.Printf("loaded plan %q v%d (env fingerprint %016x): %d samples offloaded",
+				plan.Name, meta.Version, meta.EnvFingerprint, plan.OffloadedCount())
+		} else {
+			logger.Printf("loaded plan %q: %d samples offloaded", plan.Name, plan.OffloadedCount())
+		}
 		for e := 1; e <= *epochs; e++ {
 			rep, err := trainer.RunEpoch(uint64(e), plan, nil)
 			if err != nil {
@@ -193,6 +202,16 @@ func main() {
 		// link and cores; the engine budgets each shard independently.
 		Shards: nShards,
 	}
+	if *adaptive {
+		s, ok := pol.(*policy.Sophon)
+		if !ok {
+			logger.Fatalf("-adaptive requires a sophon policy, got %s", pol.Name())
+		}
+		runAdaptive(logger, trainer, &core.Framework{Engine: s}, trace, env, *epochs, *batch,
+			profiler.DriftConfig{RelThreshold: *driftThreshold, Hysteresis: *driftHysteresis})
+		return
+	}
+
 	var plan *policy.Plan
 	if s, ok := pol.(*policy.Sophon); ok {
 		d, err := (&core.Framework{Engine: s}).DecideWithStage1(trace, env, stage1)
@@ -216,6 +235,48 @@ func main() {
 			logger.Fatal(err)
 		}
 		printEpoch(e, rep)
+	}
+}
+
+// runAdaptive closes the control loop on the live trainer: each epoch runs
+// under the controller's current snapshot, a serial fetch probe re-measures
+// the link, and drift replans at the next boundary.
+func runAdaptive(logger *log.Logger, trainer *trainsim.Trainer, fw *core.Framework,
+	trace *dataset.Trace, env policy.Env, epochs, batch int, drift profiler.DriftConfig) {
+	ctrl, err := core.NewController(core.ControllerConfig{
+		Framework: fw, Trace: trace, Env: env, Drift: drift,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	first := ctrl.Current()
+	logger.Printf("adaptive: initial plan v%d offloads %d samples", first.Version, first.Plan.OffloadedCount())
+	probeSamples := 4 * batch
+	if probeSamples > trainer.N() {
+		probeSamples = trainer.N()
+	}
+	for e := 2; e <= epochs; e++ {
+		snap := ctrl.Current()
+		rep, err := trainer.RunEpochSnapshot(uint64(e), snap, nil)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		printEpoch(e, rep)
+		bw, err := trainer.MeasureBandwidth(probeSamples)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		next, drifts, err := ctrl.ObserveEpoch(profiler.EpochSample{Epoch: uint64(e), Bandwidth: bw})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		if len(drifts) > 0 {
+			logger.Printf("replanned: %s (link %.1f MB/s, %d offloaded, effective epoch %d)",
+				next.Reason, bw/1e6, next.Plan.OffloadedCount(), next.Epoch)
+		}
+	}
+	for _, ev := range ctrl.History() {
+		logger.Printf("history: %s", ev)
 	}
 }
 

@@ -94,6 +94,11 @@ func (f *FetchingCache) FetchBatch(ctx context.Context, samples []uint32, splits
 // NumSamples reports the dataset size from the wrapped client.
 func (f *FetchingCache) NumSamples() int { return f.client.NumSamples() }
 
+// SetPlanVersion implements storage.PlanVersioner by forwarding to the
+// wrapped session — cache hits are local and carry no stamp, but every
+// fetch that does reach the wire carries the current plan version.
+func (f *FetchingCache) SetPlanVersion(v uint32) { f.client.SetPlanVersion(v) }
+
 // Stats exposes the underlying cache counters.
 func (f *FetchingCache) Stats() Stats { return f.cache.Stats() }
 

@@ -77,6 +77,17 @@ func (c *ShardedClient) ShardMap() *ShardMap { return c.m }
 // Shard returns shard s's underlying session.
 func (c *ShardedClient) Shard(s int) ShardClient { return c.shards[s] }
 
+// SetPlanVersion implements storage.PlanVersioner by forwarding to every
+// shard session that supports stamping, so all shards of a cluster observe
+// the same control-plane version.
+func (c *ShardedClient) SetPlanVersion(v uint32) {
+	for _, sc := range c.shards {
+		if pv, ok := sc.(storage.PlanVersioner); ok {
+			pv.SetPlanVersion(v)
+		}
+	}
+}
+
 // downErr wraps a shard-level transport failure for one item.
 func downErr(shard int, err error) error {
 	return fmt.Errorf("%w: shard %d: %v", ErrShardDown, shard, err)

@@ -49,8 +49,9 @@ type Config struct {
 }
 
 // DefaultRequestOverhead approximates the wire package's per-fetch framing
-// (request frame + response header).
-const DefaultRequestOverhead = 49
+// (request frame + response header; the v3 request carries a 4-byte
+// PlanVersion stamp).
+const DefaultRequestOverhead = 53
 
 // Result summarizes a simulated epoch.
 type Result struct {

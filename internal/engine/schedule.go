@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/policy"
+)
+
+// Plan schedules let the DES replay an adaptive run deterministically: the
+// controller's replan history maps plan versions to epoch ranges, and
+// RunSchedule applies each epoch's governing plan against that epoch's true
+// environment. An adaptive-vs-static comparison is then two RunSchedule
+// calls over the same trace — one with the replanned schedule, one with a
+// single-entry schedule — with no controller in the loop.
+
+// PlanScheduleEntry applies Plan (published as Version) from FromEpoch
+// until the next entry's FromEpoch.
+type PlanScheduleEntry struct {
+	FromEpoch uint64
+	Version   uint32
+	Plan      *policy.Plan
+}
+
+// PlanSchedule maps every epoch ≥ 1 to its governing plan.
+type PlanSchedule struct {
+	entries []PlanScheduleEntry
+}
+
+// NewPlanSchedule validates and wraps entries: the first must start at
+// epoch 1 (every epoch needs a plan), FromEpoch must strictly increase, and
+// all plans must cover the same sample count.
+func NewPlanSchedule(entries []PlanScheduleEntry) (*PlanSchedule, error) {
+	if len(entries) == 0 {
+		return nil, errors.New("engine: empty plan schedule")
+	}
+	if entries[0].FromEpoch != 1 {
+		return nil, fmt.Errorf("engine: schedule starts at epoch %d, want 1", entries[0].FromEpoch)
+	}
+	n := -1
+	for i, e := range entries {
+		if e.Plan == nil {
+			return nil, fmt.Errorf("engine: schedule entry %d has nil plan", i)
+		}
+		if n == -1 {
+			n = e.Plan.N()
+		} else if e.Plan.N() != n {
+			return nil, fmt.Errorf("engine: schedule entry %d covers %d samples, entry 0 covers %d", i, e.Plan.N(), n)
+		}
+		if i > 0 && e.FromEpoch <= entries[i-1].FromEpoch {
+			return nil, fmt.Errorf("engine: schedule epoch %d does not follow %d", e.FromEpoch, entries[i-1].FromEpoch)
+		}
+	}
+	out := make([]PlanScheduleEntry, len(entries))
+	copy(out, entries)
+	return &PlanSchedule{entries: out}, nil
+}
+
+// StaticSchedule wraps one plan as the schedule a non-adaptive run follows.
+func StaticSchedule(plan *policy.Plan, version uint32) (*PlanSchedule, error) {
+	return NewPlanSchedule([]PlanScheduleEntry{{FromEpoch: 1, Version: version, Plan: plan}})
+}
+
+// PlanAt returns the plan and version governing epoch (≥ 1).
+func (s *PlanSchedule) PlanAt(epoch uint64) (*policy.Plan, uint32) {
+	cur := s.entries[0]
+	for _, e := range s.entries[1:] {
+		if e.FromEpoch > epoch {
+			break
+		}
+		cur = e
+	}
+	return cur.Plan, cur.Version
+}
+
+// Entries returns a copy of the schedule.
+func (s *PlanSchedule) Entries() []PlanScheduleEntry {
+	out := make([]PlanScheduleEntry, len(s.entries))
+	copy(out, s.entries)
+	return out
+}
+
+// EnvSchedule gives the true environment for each epoch, modeling mid-run
+// reshapes (bandwidth changes, shard loss). It must be deterministic in
+// epoch for replays to reproduce.
+type EnvSchedule func(epoch uint64) policy.Env
+
+// ScheduleConfig describes a multi-epoch simulation under a plan schedule.
+type ScheduleConfig struct {
+	// Base supplies the trace and tuning knobs; its Plan and Env fields are
+	// ignored (the schedules below govern per epoch). Base.Shards 0 means
+	// each epoch simulates the epoch env's ShardCount.
+	Base Config
+	// Epochs is how many epochs to simulate (≥ 1).
+	Epochs int
+	// Plans maps epochs to plans.
+	Plans *PlanSchedule
+	// EnvAt is the true environment per epoch; nil is invalid (a schedule
+	// run exists to model changing conditions — pass a constant closure for
+	// a fixed environment).
+	EnvAt EnvSchedule
+}
+
+// EpochResult is one epoch of a schedule run.
+type EpochResult struct {
+	Epoch       uint64
+	PlanVersion uint32
+	Result
+}
+
+// RunSchedule simulates cfg.Epochs consecutive epochs, each under its
+// governing plan and true environment.
+func RunSchedule(cfg ScheduleConfig) ([]EpochResult, error) {
+	if cfg.Epochs < 1 {
+		return nil, fmt.Errorf("engine: %d epochs", cfg.Epochs)
+	}
+	if cfg.Plans == nil {
+		return nil, errors.New("engine: nil plan schedule")
+	}
+	if cfg.EnvAt == nil {
+		return nil, errors.New("engine: nil env schedule")
+	}
+	out := make([]EpochResult, 0, cfg.Epochs)
+	for e := uint64(1); e <= uint64(cfg.Epochs); e++ {
+		plan, version := cfg.Plans.PlanAt(e)
+		env := cfg.EnvAt(e)
+		run := cfg.Base
+		run.Plan = plan
+		run.Env = env
+		if run.Shards == 0 {
+			run.Shards = env.ShardCount()
+		}
+		res, err := Run(run)
+		if err != nil {
+			return nil, fmt.Errorf("engine: epoch %d: %w", e, err)
+		}
+		out = append(out, EpochResult{Epoch: e, PlanVersion: version, Result: res})
+	}
+	return out, nil
+}

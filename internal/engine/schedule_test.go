@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/policy"
+)
+
+func uniformPlan(t testing.TB, n, split int) *policy.Plan {
+	t.Helper()
+	p, err := policy.NewUniformPlan("sched", n, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlanScheduleValidation(t *testing.T) {
+	p := uniformPlan(t, 10, 0)
+	if _, err := NewPlanSchedule(nil); err == nil {
+		t.Fatal("accepted empty schedule")
+	}
+	if _, err := NewPlanSchedule([]PlanScheduleEntry{{FromEpoch: 2, Version: 1, Plan: p}}); err == nil {
+		t.Fatal("accepted schedule not starting at epoch 1")
+	}
+	if _, err := NewPlanSchedule([]PlanScheduleEntry{{FromEpoch: 1, Version: 1}}); err == nil {
+		t.Fatal("accepted nil plan")
+	}
+	if _, err := NewPlanSchedule([]PlanScheduleEntry{
+		{FromEpoch: 1, Version: 1, Plan: p},
+		{FromEpoch: 1, Version: 2, Plan: p},
+	}); err == nil {
+		t.Fatal("accepted non-increasing epochs")
+	}
+	if _, err := NewPlanSchedule([]PlanScheduleEntry{
+		{FromEpoch: 1, Version: 1, Plan: p},
+		{FromEpoch: 3, Version: 2, Plan: uniformPlan(t, 5, 0)},
+	}); err == nil {
+		t.Fatal("accepted mismatched plan sizes")
+	}
+}
+
+func TestPlanSchedulePlanAt(t *testing.T) {
+	p1 := uniformPlan(t, 10, 0)
+	p2 := uniformPlan(t, 10, 1)
+	p3 := uniformPlan(t, 10, 2)
+	s, err := NewPlanSchedule([]PlanScheduleEntry{
+		{FromEpoch: 1, Version: 1, Plan: p1},
+		{FromEpoch: 4, Version: 2, Plan: p2},
+		{FromEpoch: 7, Version: 5, Plan: p3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		epoch uint64
+		plan  *policy.Plan
+		ver   uint32
+	}{
+		{1, p1, 1}, {3, p1, 1}, {4, p2, 2}, {6, p2, 2}, {7, p3, 5}, {100, p3, 5},
+	}
+	for _, tc := range cases {
+		plan, ver := s.PlanAt(tc.epoch)
+		if plan != tc.plan || ver != tc.ver {
+			t.Fatalf("PlanAt(%d) = (%p, %d), want (%p, %d)", tc.epoch, plan, ver, tc.plan, tc.ver)
+		}
+	}
+}
+
+// TestRunScheduleAppliesPerEpochPlanAndEnv: a two-entry schedule under a
+// mid-run bandwidth reshape produces per-epoch results matching individual
+// Run calls with the same plan and env.
+func TestRunScheduleAppliesPerEpochPlanAndEnv(t *testing.T) {
+	tr := openImages(t, 200)
+	e := env(4)
+	degraded := e
+	degraded.Bandwidth = netsim.Mbps(250)
+	p1 := noOffPlan(t, tr)
+	p2 := uniformPlan(t, tr.N(), 1)
+
+	sched, err := NewPlanSchedule([]PlanScheduleEntry{
+		{FromEpoch: 1, Version: 1, Plan: p1},
+		{FromEpoch: 3, Version: 2, Plan: p2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	envAt := func(epoch uint64) policy.Env {
+		if epoch >= 3 {
+			return degraded
+		}
+		return e
+	}
+	got, err := RunSchedule(ScheduleConfig{
+		Base:   Config{Trace: tr},
+		Epochs: 4,
+		Plans:  sched,
+		EnvAt:  envAt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("%d epochs", len(got))
+	}
+	for _, r := range got {
+		plan, ver := sched.PlanAt(r.Epoch)
+		want, err := Run(Config{Trace: tr, Plan: plan, Env: envAt(r.Epoch)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.PlanVersion != ver || r.Result != want {
+			t.Fatalf("epoch %d: schedule run %+v, direct run %+v", r.Epoch, r.Result, want)
+		}
+	}
+	// The reshape must be visible: epoch 1 (fast link, no offload) differs
+	// from epoch 3 (slow link, offloaded).
+	if got[0].EpochTime == got[2].EpochTime {
+		t.Fatal("reshape invisible in schedule run")
+	}
+}
+
+func TestRunScheduleValidation(t *testing.T) {
+	tr := openImages(t, 50)
+	sched, _ := StaticSchedule(noOffPlan(t, tr), 1)
+	envAt := func(uint64) policy.Env { return env(0) }
+	if _, err := RunSchedule(ScheduleConfig{Base: Config{Trace: tr}, Plans: sched, EnvAt: envAt}); err == nil {
+		t.Fatal("accepted 0 epochs")
+	}
+	if _, err := RunSchedule(ScheduleConfig{Base: Config{Trace: tr}, Epochs: 2, EnvAt: envAt}); err == nil {
+		t.Fatal("accepted nil plans")
+	}
+	if _, err := RunSchedule(ScheduleConfig{Base: Config{Trace: tr}, Epochs: 2, Plans: sched}); err == nil {
+		t.Fatal("accepted nil env schedule")
+	}
+}

@@ -1,0 +1,161 @@
+package monitor
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/gpu"
+	"repro/internal/netsim"
+	"repro/internal/policy"
+	"repro/internal/profiler"
+	"repro/internal/simclock"
+	"repro/internal/storage"
+)
+
+func testController(t *testing.T) *core.Controller {
+	t.Helper()
+	tr, err := dataset.GenerateTrace(dataset.OpenImages12G().ScaledTo(200), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := policy.Env{
+		Bandwidth:       netsim.Mbps(500),
+		ComputeCores:    48,
+		StorageCores:    4,
+		StorageSlowdown: 1,
+		GPU:             gpu.AlexNet,
+	}
+	c, err := core.NewController(core.ControllerConfig{
+		Trace: tr, Env: env,
+		Clock: simclock.NewVirtual(time.Unix(0, 0)),
+		Drift: profiler.DriftConfig{Alpha: 1, RelThreshold: 0.2, Hysteresis: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestStatsReportsControlPlane attaches a controller, forces one replan, and
+// checks /stats carries the plan version, the replan history with reasons,
+// and the drift gauges — plus the wire-observed version from the storage
+// counters.
+func TestStatsReportsControlPlane(t *testing.T) {
+	ctrl := testController(t)
+	counters := &storage.Counters{}
+	counters.ObservePlanVersion(2)
+	counters.ObservePlanVersion(1) // stale stamp during the swap
+
+	m := New(nil, counters).WatchControlPlane(ctrl).UseClock(simclock.NewVirtual(time.Unix(0, 0)))
+	if _, _, err := ctrl.ObserveEpoch(profiler.EpochSample{Epoch: 1, Bandwidth: netsim.Mbps(100)}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got struct {
+		PlanVersion     uint32 `json:"plan_version"`
+		PlanRegressions uint64 `json:"plan_regressions"`
+		ControlPlane    *struct {
+			PlanVersion    uint32 `json:"plan_version"`
+			EffectiveEpoch uint64 `json:"effective_epoch"`
+			Reason         string `json:"reason"`
+			Replans        int    `json:"replans"`
+			History        []struct {
+				Version uint32 `json:"version"`
+				Reason  string `json:"reason"`
+			} `json:"history"`
+			Drift struct {
+				Bandwidth float64 `json:"bandwidth"`
+			} `json:"drift"`
+		} `json:"control_plane"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.PlanVersion != 2 || got.PlanRegressions != 1 {
+		t.Fatalf("wire-observed version/regressions = %d/%d", got.PlanVersion, got.PlanRegressions)
+	}
+	cp := got.ControlPlane
+	if cp == nil {
+		t.Fatal("control_plane missing from /stats")
+	}
+	if cp.PlanVersion != 2 || cp.EffectiveEpoch != 2 || cp.Replans != 1 {
+		t.Fatalf("control plane snapshot %+v", cp)
+	}
+	if cp.Reason != "bandwidth-drift" {
+		t.Fatalf("reason %q", cp.Reason)
+	}
+	if len(cp.History) != 2 || cp.History[0].Reason != "initial" || cp.History[1].Version != 2 {
+		t.Fatalf("history %+v", cp.History)
+	}
+	if cp.Drift.Bandwidth != netsim.Mbps(100) {
+		t.Fatalf("drift bandwidth gauge %v", cp.Drift.Bandwidth)
+	}
+}
+
+// TestMetricsReportsControlPlane checks the plain-text listing.
+func TestMetricsReportsControlPlane(t *testing.T) {
+	ctrl := testController(t)
+	counters := &storage.Counters{}
+	counters.ObservePlanVersion(1)
+	m := New(nil, counters).WatchControlPlane(ctrl)
+
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		"sophon_plan_version 1",
+		"sophon_plan_regressions 0",
+		"sophon_control_plan_version 1",
+		"sophon_control_replans_total 0",
+		"sophon_drift_bandwidth_bytes_per_sec",
+		"sophon_drift_shards_up",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestMonitorVirtualClockUptime: the injected clock drives uptime, so a
+// monitor inside a simulation reports virtual time.
+func TestMonitorVirtualClockUptime(t *testing.T) {
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	m := New(nil, nil).UseClock(clock)
+	clock.Advance(90 * time.Second)
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got struct {
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.UptimeSeconds != 90 {
+		t.Fatalf("uptime %v under virtual clock, want 90", got.UptimeSeconds)
+	}
+}

@@ -13,19 +13,35 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/profiler"
+	"repro/internal/simclock"
 	"repro/internal/storage"
 )
+
+// ControlPlane is the adaptive controller's observability surface: the live
+// plan snapshot, the replan history, and the drift detector's gauges. It is
+// satisfied by *core.Controller.
+type ControlPlane interface {
+	Current() *policy.PlanSnapshot
+	History() []core.ReplanEvent
+	Telemetry() *profiler.Telemetry
+}
 
 // Server wires a metrics registry and storage counters into an HTTP mux. It
 // can watch several storage servers at once (one per shard of a sharded
 // deployment): /stats reports both the aggregate and a per-server
 // breakdown, including the live in-flight-request and open-connection
-// gauges.
+// gauges. When a control plane is attached, /stats also reports the current
+// plan version, the replan history, and the drift gauges.
 type Server struct {
 	registry *metrics.Registry
 	sources  []*storage.Counters
+	clock    simclock.Clock
 	start    time.Time
+	plane    ControlPlane
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -44,23 +60,56 @@ func New(registry *metrics.Registry, counters *storage.Counters) *Server {
 // NewMulti builds a monitor over several storage servers' counters — one
 // entry per shard, in shard order.
 func NewMulti(registry *metrics.Registry, counters ...*storage.Counters) *Server {
-	return &Server{registry: registry, sources: counters, start: time.Now()}
+	clock := simclock.Real()
+	return &Server{registry: registry, sources: counters, clock: clock, start: clock.Now()}
+}
+
+// UseClock replaces the monitor's uptime clock (virtual-clock tests and
+// simulations); call before serving.
+func (s *Server) UseClock(c simclock.Clock) *Server {
+	s.clock = c
+	s.start = c.Now()
+	return s
+}
+
+// WatchControlPlane attaches the adaptive controller so /stats and /metrics
+// report plan version, replan history, and drift gauges; call before serving.
+func (s *Server) WatchControlPlane(p ControlPlane) *Server {
+	s.plane = p
+	return s
 }
 
 // statsSnapshot is the JSON shape of /stats. The top-level fields aggregate
 // across every watched server; PerServer breaks them out per shard.
 type statsSnapshot struct {
-	UptimeSeconds    float64           `json:"uptime_seconds"`
-	SamplesServed    uint64            `json:"samples_served"`
-	OpsExecuted      uint64            `json:"ops_executed"`
-	BytesSent        uint64            `json:"bytes_sent"`
-	ServerCPUNanos   uint64            `json:"server_cpu_nanos"`
-	InFlightRequests int64             `json:"in_flight_requests"`
-	OpenConnections  int64             `json:"open_connections"`
-	PerServer        []serverSnapshot  `json:"per_server,omitempty"`
-	Counters         map[string]int64  `json:"counters,omitempty"`
-	Gauges           map[string]int64  `json:"gauges,omitempty"`
-	Histograms       map[string]hStats `json:"histograms,omitempty"`
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+	SamplesServed    uint64  `json:"samples_served"`
+	OpsExecuted      uint64  `json:"ops_executed"`
+	BytesSent        uint64  `json:"bytes_sent"`
+	ServerCPUNanos   uint64  `json:"server_cpu_nanos"`
+	InFlightRequests int64   `json:"in_flight_requests"`
+	OpenConnections  int64   `json:"open_connections"`
+	// PlanVersion is the highest plan version any watched server observed on
+	// the wire; PlanRegressions sums older-than-mark stamps (mixed-version
+	// traffic during a swap).
+	PlanVersion     uint32                `json:"plan_version"`
+	PlanRegressions uint64                `json:"plan_regressions"`
+	ControlPlane    *controlPlaneSnapshot `json:"control_plane,omitempty"`
+	PerServer       []serverSnapshot      `json:"per_server,omitempty"`
+	Counters        map[string]int64      `json:"counters,omitempty"`
+	Gauges          map[string]int64      `json:"gauges,omitempty"`
+	Histograms      map[string]hStats     `json:"histograms,omitempty"`
+}
+
+// controlPlaneSnapshot is the adaptive controller's slice of /stats.
+type controlPlaneSnapshot struct {
+	// PlanVersion / EffectiveEpoch / Reason describe the live snapshot.
+	PlanVersion    policy.PlanVersion         `json:"plan_version"`
+	EffectiveEpoch uint64                     `json:"effective_epoch"`
+	Reason         string                     `json:"reason"`
+	Replans        int                        `json:"replans"`
+	History        []core.ReplanEvent         `json:"history"`
+	Drift          profiler.TelemetrySnapshot `json:"drift"`
 }
 
 // serverSnapshot is one storage server's slice of /stats.
@@ -72,6 +121,8 @@ type serverSnapshot struct {
 	ServerCPUNanos   uint64 `json:"server_cpu_nanos"`
 	InFlightRequests int64  `json:"in_flight_requests"`
 	OpenConnections  int64  `json:"open_connections"`
+	PlanVersion      uint32 `json:"plan_version"`
+	PlanRegressions  uint64 `json:"plan_regressions"`
 }
 
 type hStats struct {
@@ -82,7 +133,7 @@ type hStats struct {
 }
 
 func (s *Server) snapshot() statsSnapshot {
-	out := statsSnapshot{UptimeSeconds: time.Since(s.start).Seconds()}
+	out := statsSnapshot{UptimeSeconds: s.clock.Now().Sub(s.start).Seconds()}
 	for i, c := range s.sources {
 		one := serverSnapshot{
 			Server:           i,
@@ -92,6 +143,8 @@ func (s *Server) snapshot() statsSnapshot {
 			ServerCPUNanos:   c.CPUNanos.Load(),
 			InFlightRequests: c.InFlight.Load(),
 			OpenConnections:  c.Connections.Load(),
+			PlanVersion:      c.PlanVersion.Load(),
+			PlanRegressions:  c.PlanRegressions.Load(),
 		}
 		out.SamplesServed += one.SamplesServed
 		out.OpsExecuted += one.OpsExecuted
@@ -99,8 +152,26 @@ func (s *Server) snapshot() statsSnapshot {
 		out.ServerCPUNanos += one.ServerCPUNanos
 		out.InFlightRequests += one.InFlightRequests
 		out.OpenConnections += one.OpenConnections
+		// The fleet's version is the highest any shard has seen: shards
+		// converge to it as stamped traffic arrives.
+		if one.PlanVersion > out.PlanVersion {
+			out.PlanVersion = one.PlanVersion
+		}
+		out.PlanRegressions += one.PlanRegressions
 		if len(s.sources) > 1 {
 			out.PerServer = append(out.PerServer, one)
+		}
+	}
+	if s.plane != nil {
+		snap := s.plane.Current()
+		hist := s.plane.History()
+		out.ControlPlane = &controlPlaneSnapshot{
+			PlanVersion:    snap.Version,
+			EffectiveEpoch: snap.Epoch,
+			Reason:         snap.Reason,
+			Replans:        len(hist) - 1, // the "initial" event is not a replan
+			History:        hist,
+			Drift:          s.plane.Telemetry().Snapshot(),
 		}
 	}
 	if s.registry != nil {
@@ -140,10 +211,21 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintf(w, "sophon_server_cpu_nanos %d\n", snap.ServerCPUNanos)
 		fmt.Fprintf(w, "sophon_in_flight_requests %d\n", snap.InFlightRequests)
 		fmt.Fprintf(w, "sophon_open_connections %d\n", snap.OpenConnections)
+		fmt.Fprintf(w, "sophon_plan_version %d\n", snap.PlanVersion)
+		fmt.Fprintf(w, "sophon_plan_regressions %d\n", snap.PlanRegressions)
 		for _, ps := range snap.PerServer {
 			fmt.Fprintf(w, "sophon_server_samples_served{server=\"%d\"} %d\n", ps.Server, ps.SamplesServed)
 			fmt.Fprintf(w, "sophon_server_in_flight_requests{server=\"%d\"} %d\n", ps.Server, ps.InFlightRequests)
 			fmt.Fprintf(w, "sophon_server_open_connections{server=\"%d\"} %d\n", ps.Server, ps.OpenConnections)
+			fmt.Fprintf(w, "sophon_server_plan_version{server=\"%d\"} %d\n", ps.Server, ps.PlanVersion)
+		}
+		if cp := snap.ControlPlane; cp != nil {
+			fmt.Fprintf(w, "sophon_control_plan_version %d\n", cp.PlanVersion)
+			fmt.Fprintf(w, "sophon_control_replans_total %d\n", cp.Replans)
+			fmt.Fprintf(w, "sophon_drift_bandwidth_bytes_per_sec %g\n", cp.Drift.Bandwidth)
+			fmt.Fprintf(w, "sophon_drift_bandwidth_baseline_bytes_per_sec %g\n", cp.Drift.BandwidthBaseline)
+			fmt.Fprintf(w, "sophon_drift_storage_occupancy %g\n", cp.Drift.StorageOccupancy)
+			fmt.Fprintf(w, "sophon_drift_shards_up %d\n", cp.Drift.ShardsUp)
 		}
 		if s.registry != nil {
 			fmt.Fprint(w, s.registry.Snapshot().String())

@@ -50,7 +50,30 @@ func NewTokenBucket(bytesPerSec float64, burst int, clock simclock.Clock) (*Toke
 }
 
 // Rate returns the configured bytes/second.
-func (tb *TokenBucket) Rate() float64 { return tb.rate }
+func (tb *TokenBucket) Rate() float64 {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return tb.rate
+}
+
+// SetRate retunes the bucket to a new bytes/second rate — a live link
+// reshape. Accrual up to now is settled at the old rate; reservations made
+// after the call drain at the new one.
+func (tb *TokenBucket) SetRate(bytesPerSec float64) error {
+	if bytesPerSec <= 0 {
+		return errors.New("netsim: rate must be positive")
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := tb.clock.Now()
+	tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	tb.last = now
+	tb.rate = bytesPerSec
+	return nil
+}
 
 // WaitN reserves n tokens, sleeping for as long as the reservation
 // overdraws the bucket. n <= 0 returns immediately.

@@ -20,20 +20,25 @@ func FuzzReadPlan(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(buf.Bytes())
+	buf.Reset()
+	if err := WritePlanVersioned(&buf, plan, PlanMeta{Version: 3, EnvFingerprint: 99}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		p, err := ReadPlan(bytes.NewReader(data))
+		p, meta, err := ReadPlanVersioned(bytes.NewReader(data))
 		if err != nil {
 			return
 		}
 		var out bytes.Buffer
-		if err := WritePlan(&out, p); err != nil {
+		if err := WritePlanVersioned(&out, p, meta); err != nil {
 			t.Fatalf("accepted plan failed to write: %v", err)
 		}
-		again, err := ReadPlan(&out)
-		if err != nil || again.N() != p.N() {
-			t.Fatalf("round trip failed: %v", err)
+		again, meta2, err := ReadPlanVersioned(&out)
+		if err != nil || again.N() != p.N() || meta2 != meta {
+			t.Fatalf("round trip failed: %v (%+v vs %+v)", err, meta2, meta)
 		}
 	})
 }

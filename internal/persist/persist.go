@@ -17,13 +17,26 @@ import (
 	"repro/internal/policy"
 )
 
-// File format constants.
+// File format constants. Plans have two on-disk generations: v1 is the bare
+// plan, v2 prefixes it with a control-plane header (plan version + the
+// fingerprint of the environment it was computed against) so a loaded plan
+// can be tied back to its planning inputs. Readers accept both.
 const (
-	traceMagic = "SOPHTRC1"
-	planMagic  = "SOPHPLN1"
-	maxName    = 1 << 10
-	maxRecords = 1 << 26
+	traceMagic  = "SOPHTRC1"
+	planMagic   = "SOPHPLN1"
+	planMagicV2 = "SOPHPLN2"
+	maxName     = 1 << 10
+	maxRecords  = 1 << 26
 )
+
+// PlanMeta is the v2 plan header. Zero for plans loaded from v1 files.
+type PlanMeta struct {
+	// Version is the control-plane plan version the file captured (0 when
+	// the file predates versioning).
+	Version policy.PlanVersion
+	// EnvFingerprint is policy.Env.Fingerprint() of the planning environment.
+	EnvFingerprint uint64
+}
 
 // ErrCorrupt reports a malformed stream.
 var ErrCorrupt = errors.New("persist: corrupt stream")
@@ -121,8 +134,31 @@ func ReadTrace(r io.Reader) (*dataset.Trace, error) {
 	return tr, nil
 }
 
-// WritePlan serializes a plan.
+// WritePlan serializes a plan in the legacy v1 format (no control-plane
+// header).
 func WritePlan(w io.Writer, p *policy.Plan) error {
+	return writePlan(w, p, planMagic, PlanMeta{})
+}
+
+// WritePlanVersioned serializes a plan in the v2 format, carrying the plan
+// version and environment fingerprint in the header.
+func WritePlanVersioned(w io.Writer, p *policy.Plan, meta PlanMeta) error {
+	return writePlan(w, p, planMagicV2, meta)
+}
+
+// WritePlanSnapshot serializes a control-plane snapshot's plan in the v2
+// format, deriving the header from the snapshot itself.
+func WritePlanSnapshot(w io.Writer, snap *policy.PlanSnapshot) error {
+	if snap == nil {
+		return errors.New("persist: nil snapshot")
+	}
+	return WritePlanVersioned(w, snap.Plan, PlanMeta{
+		Version:        snap.Version,
+		EnvFingerprint: snap.Env.Fingerprint(),
+	})
+}
+
+func writePlan(w io.Writer, p *policy.Plan, magic string, meta PlanMeta) error {
 	if p == nil {
 		return errors.New("persist: nil plan")
 	}
@@ -130,8 +166,16 @@ func WritePlan(w io.Writer, p *policy.Plan) error {
 		return fmt.Errorf("persist: plan name of %d bytes too long", len(p.Name))
 	}
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(planMagic); err != nil {
+	if _, err := bw.WriteString(magic); err != nil {
 		return err
+	}
+	if magic == planMagicV2 {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(meta.Version)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, meta.EnvFingerprint); err != nil {
+			return err
+		}
 	}
 	if err := writeString(bw, p.Name); err != nil {
 		return err
@@ -145,40 +189,60 @@ func WritePlan(w io.Writer, p *policy.Plan) error {
 	return bw.Flush()
 }
 
-// ReadPlan deserializes a plan.
+// ReadPlan deserializes a plan from either format generation, discarding the
+// v2 header.
 func ReadPlan(r io.Reader) (*policy.Plan, error) {
+	p, _, err := ReadPlanVersioned(r)
+	return p, err
+}
+
+// ReadPlanVersioned deserializes a plan from either format generation. Plans
+// from v1 files return a zero PlanMeta.
+func ReadPlanVersioned(r io.Reader) (*policy.Plan, PlanMeta, error) {
+	var meta PlanMeta
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(planMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("%w: magic: %v", ErrCorrupt, err)
+		return nil, meta, fmt.Errorf("%w: magic: %v", ErrCorrupt, err)
 	}
-	if string(magic) != planMagic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, magic)
+	switch string(magic) {
+	case planMagic:
+	case planMagicV2:
+		var v uint32
+		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+			return nil, meta, fmt.Errorf("%w: plan version: %v", ErrCorrupt, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &meta.EnvFingerprint); err != nil {
+			return nil, meta, fmt.Errorf("%w: env fingerprint: %v", ErrCorrupt, err)
+		}
+		meta.Version = policy.PlanVersion(v)
+	default:
+		return nil, meta, fmt.Errorf("%w: bad magic %q", ErrCorrupt, magic)
 	}
 	name, err := readString(br)
 	if err != nil {
-		return nil, err
+		return nil, meta, err
 	}
 	var n uint32
 	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
-		return nil, fmt.Errorf("%w: count: %v", ErrCorrupt, err)
+		return nil, meta, fmt.Errorf("%w: count: %v", ErrCorrupt, err)
 	}
 	if n == 0 || n > maxRecords {
-		return nil, fmt.Errorf("%w: %d splits", ErrCorrupt, n)
+		return nil, meta, fmt.Errorf("%w: %d splits", ErrCorrupt, n)
 	}
 	splits := make([]uint8, n)
 	if _, err := io.ReadFull(br, splits); err != nil {
-		return nil, fmt.Errorf("%w: splits: %v", ErrCorrupt, err)
+		return nil, meta, fmt.Errorf("%w: splits: %v", ErrCorrupt, err)
 	}
 	for i, s := range splits {
 		if int(s) > dataset.OpCount {
-			return nil, fmt.Errorf("%w: split %d of sample %d out of range", ErrCorrupt, s, i)
+			return nil, meta, fmt.Errorf("%w: split %d of sample %d out of range", ErrCorrupt, s, i)
 		}
 	}
 	if _, err := br.ReadByte(); err != io.EOF {
-		return nil, fmt.Errorf("%w: trailing data", ErrCorrupt)
+		return nil, meta, fmt.Errorf("%w: trailing data", ErrCorrupt)
 	}
-	return &policy.Plan{Name: name, Splits: splits}, nil
+	return &policy.Plan{Name: name, Splits: splits}, meta, nil
 }
 
 // SaveTrace writes a trace to path.
@@ -201,7 +265,7 @@ func SavePlan(path string, p *policy.Plan) error {
 	return saveFile(path, func(w io.Writer) error { return WritePlan(w, p) })
 }
 
-// LoadPlan reads a plan from path.
+// LoadPlan reads a plan from path (either format generation).
 func LoadPlan(path string) (*policy.Plan, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -209,6 +273,22 @@ func LoadPlan(path string) (*policy.Plan, error) {
 	}
 	defer f.Close()
 	return ReadPlan(f)
+}
+
+// SavePlanVersioned writes a plan with its v2 control-plane header to path.
+func SavePlanVersioned(path string, p *policy.Plan, meta PlanMeta) error {
+	return saveFile(path, func(w io.Writer) error { return WritePlanVersioned(w, p, meta) })
+}
+
+// LoadPlanVersioned reads a plan and its header from path (either format
+// generation; v1 files give a zero header).
+func LoadPlanVersioned(path string) (*policy.Plan, PlanMeta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, PlanMeta{}, err
+	}
+	defer f.Close()
+	return ReadPlanVersioned(f)
 }
 
 func saveFile(path string, write func(io.Writer) error) error {

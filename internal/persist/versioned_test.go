@@ -1,0 +1,144 @@
+package persist
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/netsim"
+	"repro/internal/policy"
+)
+
+var goldenPlan = &policy.Plan{Name: "golden", Splits: []uint8{0, 3, 1, 2, 0, 4, 2, 0}}
+
+// TestPlanVersionedRoundTrip: the v2 header survives a write/read cycle, and
+// the unversioned reader accepts the same bytes.
+func TestPlanVersionedRoundTrip(t *testing.T) {
+	meta := PlanMeta{Version: 12, EnvFingerprint: 0xdeadbeef}
+	var buf bytes.Buffer
+	if err := WritePlanVersioned(&buf, goldenPlan, meta); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	p, got, err := ReadPlanVersioned(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != meta {
+		t.Fatalf("meta %+v, want %+v", got, meta)
+	}
+	if p.Name != goldenPlan.Name || !bytes.Equal(p.Splits, goldenPlan.Splits) {
+		t.Fatalf("plan %+v", p)
+	}
+	// The plain reader tolerates the versioned format.
+	if p2, err := ReadPlan(bytes.NewReader(raw)); err != nil || p2.N() != goldenPlan.N() {
+		t.Fatalf("ReadPlan on v2 bytes: %v", err)
+	}
+}
+
+// TestWritePlanSnapshot derives the header from the snapshot's env.
+func TestWritePlanSnapshot(t *testing.T) {
+	env := policy.Env{
+		Bandwidth: netsim.Mbps(500), ComputeCores: 8, StorageCores: 4,
+		StorageSlowdown: 1, GPU: gpu.AlexNet,
+	}
+	snap := &policy.PlanSnapshot{Version: 3, Plan: goldenPlan, Env: env}
+	var buf bytes.Buffer
+	if err := WritePlanSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	_, meta, err := ReadPlanVersioned(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Version != 3 || meta.EnvFingerprint != env.Fingerprint() {
+		t.Fatalf("snapshot meta %+v", meta)
+	}
+	if err := WritePlanSnapshot(&buf, nil); err == nil {
+		t.Fatal("accepted nil snapshot")
+	}
+}
+
+// TestPlanGoldenFiles pins both on-disk generations byte for byte: old files
+// must stay readable forever, and the current writers must keep producing
+// exactly these bytes.
+func TestPlanGoldenFiles(t *testing.T) {
+	v1, err := os.ReadFile(filepath.Join("testdata", "plan_v1.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, meta, err := ReadPlanVersioned(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta != (PlanMeta{}) {
+		t.Fatalf("v1 golden produced meta %+v, want zero", meta)
+	}
+	if p.Name != "golden" || !bytes.Equal(p.Splits, goldenPlan.Splits) {
+		t.Fatalf("v1 golden plan %+v", p)
+	}
+	var out bytes.Buffer
+	if err := WritePlan(&out, p); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), v1) {
+		t.Fatal("v1 writer no longer reproduces the golden bytes")
+	}
+
+	v2, err := os.ReadFile(filepath.Join("testdata", "plan_v2.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMeta := PlanMeta{Version: 7, EnvFingerprint: 0xfeedface01020304}
+	p2, meta2, err := ReadPlanVersioned(bytes.NewReader(v2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta2 != wantMeta {
+		t.Fatalf("v2 golden meta %+v, want %+v", meta2, wantMeta)
+	}
+	out.Reset()
+	if err := WritePlanVersioned(&out, p2, meta2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), v2) {
+		t.Fatal("v2 writer no longer reproduces the golden bytes")
+	}
+}
+
+// TestPlanVersionedFileHelpers exercises the path-based save/load pair.
+func TestPlanVersionedFileHelpers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.sophon")
+	meta := PlanMeta{Version: 2, EnvFingerprint: 42}
+	if err := SavePlanVersioned(path, goldenPlan, meta); err != nil {
+		t.Fatal(err)
+	}
+	p, got, err := LoadPlanVersioned(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != meta || p.N() != goldenPlan.N() {
+		t.Fatalf("loaded %+v %+v", p, got)
+	}
+	// LoadPlan reads the same file without the header.
+	if p2, err := LoadPlan(path); err != nil || p2.N() != goldenPlan.N() {
+		t.Fatalf("LoadPlan: %v", err)
+	}
+}
+
+// TestReadPlanVersionedCorrupt covers truncated v2 headers.
+func TestReadPlanVersionedCorrupt(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePlanVersioned(&buf, goldenPlan, PlanMeta{Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{len(planMagicV2) + 2, len(planMagicV2) + 9} {
+		if _, _, err := ReadPlanVersioned(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("accepted header truncated at %d", cut)
+		}
+	}
+}

@@ -6,11 +6,25 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/pipeline"
 	"repro/internal/wire"
 )
+
+// PlanVersioner is implemented by clients that stamp outgoing fetch
+// directives with the control plane's current plan version. Wrappers
+// (reconnecting clients, sharded fan-outs, caches) forward SetPlanVersion to
+// the sessions they own; callers discover support by type assertion so the
+// StorageClient interfaces stay stable.
+type PlanVersioner interface {
+	// SetPlanVersion updates the version stamped on subsequent fetches.
+	// Requests already in flight keep the version they were issued under —
+	// mixed-version traffic during a plan swap is legal because fetches are
+	// idempotent (augmentation seeds depend only on job, epoch, sample).
+	SetPlanVersion(v uint32)
+}
 
 // Client defaults; override via ClientOptions.
 const (
@@ -58,6 +72,10 @@ type Client struct {
 	conn    net.Conn
 	ack     wire.HelloAck
 	timeout time.Duration
+
+	// planVersion is stamped onto every outgoing Fetch/FetchBatch; 0 means
+	// unversioned. Atomic so a controller can swap plans while workers fetch.
+	planVersion atomic.Uint32
 
 	writeCh  chan wire.Message
 	inflight chan struct{} // semaphore: MaxInFlight slots
@@ -152,6 +170,12 @@ func (c *Client) DatasetName() string { return c.ack.DatasetName }
 
 // NumSamples returns the dataset size reported by the server.
 func (c *Client) NumSamples() int { return int(c.ack.NumSamples) }
+
+// SetPlanVersion implements PlanVersioner: subsequent fetches carry v.
+func (c *Client) SetPlanVersion(v uint32) { c.planVersion.Store(v) }
+
+// PlanVersion reports the version currently stamped on outgoing fetches.
+func (c *Client) PlanVersion() uint32 { return c.planVersion.Load() }
 
 // writeLoop is the single goroutine allowed to write frames after the
 // handshake; it serializes concurrent requests onto the connection.
@@ -350,7 +374,7 @@ func (c *Client) Fetch(ctx context.Context, sample uint32, split int, epoch uint
 		return FetchResult{}, fmt.Errorf("storage: split %d out of range", split)
 	}
 	id := c.reserveID()
-	req := &wire.Fetch{RequestID: id, Sample: sample, Split: uint8(split), Epoch: epoch}
+	req := &wire.Fetch{RequestID: id, Sample: sample, Split: uint8(split), Epoch: epoch, PlanVersion: c.planVersion.Load()}
 	msg, err := c.roundTrip(ctx, id, req)
 	if err != nil {
 		return FetchResult{}, err
@@ -405,7 +429,7 @@ func (c *Client) FetchBatch(ctx context.Context, samples []uint32, splits []int,
 	}
 
 	id := c.reserveID()
-	req := &wire.FetchBatch{RequestID: id, Epoch: epoch, Items: items}
+	req := &wire.FetchBatch{RequestID: id, Epoch: epoch, PlanVersion: c.planVersion.Load(), Items: items}
 	msg, err := c.roundTrip(ctx, id, req)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,83 @@
+package storage
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+// TestPlanVersionStamping verifies the session stamps fetches with the plan
+// version and the server ratchets its high-water mark while counting
+// regressions — the observability contract the adaptive control plane's
+// mixed-version swap semantics rest on.
+func TestPlanVersionStamping(t *testing.T) {
+	srv, dial := startServer(t, ServerConfig{
+		Store:    testStore(t, 8),
+		Pipeline: pipeline.DefaultStandard(),
+		Cores:    2,
+	})
+	c := dial()
+	ctx := context.Background()
+
+	// Unversioned traffic leaves the counters untouched.
+	if _, err := c.Fetch(ctx, 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v := srv.Counters().PlanVersion.Load(); v != 0 {
+		t.Fatalf("unversioned fetch moved PlanVersion to %d", v)
+	}
+
+	c.SetPlanVersion(3)
+	if _, err := c.Fetch(ctx, 1, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v := srv.Counters().PlanVersion.Load(); v != 3 {
+		t.Fatalf("PlanVersion = %d, want 3", v)
+	}
+
+	// A batch stamped with a newer version ratchets the mark once.
+	c.SetPlanVersion(5)
+	if _, err := c.FetchBatch(ctx, []uint32{2, 3}, []int{0, 0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v := srv.Counters().PlanVersion.Load(); v != 5 {
+		t.Fatalf("PlanVersion after batch = %d, want 5", v)
+	}
+	if r := srv.Counters().PlanRegressions.Load(); r != 0 {
+		t.Fatalf("regressions = %d before any stale traffic", r)
+	}
+
+	// Mixed-version traffic during a swap: an older stamp still serves the
+	// fetch but counts as a regression.
+	c.SetPlanVersion(4)
+	res, err := c.Fetch(ctx, 4, 0, 1)
+	if err != nil || res.Err != nil {
+		t.Fatalf("stale-version fetch failed: %v / %v", err, res.Err)
+	}
+	if v := srv.Counters().PlanVersion.Load(); v != 5 {
+		t.Fatalf("regressed stamp moved the high-water mark to %d", v)
+	}
+	if r := srv.Counters().PlanRegressions.Load(); r != 1 {
+		t.Fatalf("regressions = %d, want 1", r)
+	}
+}
+
+// TestCountersObservePlanVersion covers the ratchet in isolation.
+func TestCountersObservePlanVersion(t *testing.T) {
+	var c Counters
+	c.ObservePlanVersion(0)
+	if c.PlanVersion.Load() != 0 || c.PlanRegressions.Load() != 0 {
+		t.Fatal("version 0 must be ignored")
+	}
+	c.ObservePlanVersion(2)
+	c.ObservePlanVersion(2) // equal is not a regression
+	c.ObservePlanVersion(1) // older is
+	c.ObservePlanVersion(7)
+	if v := c.PlanVersion.Load(); v != 7 {
+		t.Fatalf("PlanVersion = %d, want 7", v)
+	}
+	if r := c.PlanRegressions.Load(); r != 1 {
+		t.Fatalf("PlanRegressions = %d, want 1", r)
+	}
+}

@@ -140,12 +140,13 @@ type ReconnectingClient struct {
 	datasetName string
 	numSamples  int
 
-	mu      sync.Mutex
-	current *Client // nil while broken, until the next acquire redials
-	gen     int64
-	closed  bool
-	retries int64
-	rng     *rand.Rand // jitter draws, guarded by mu
+	mu          sync.Mutex
+	current     *Client // nil while broken, until the next acquire redials
+	gen         int64
+	closed      bool
+	retries     int64
+	rng         *rand.Rand // jitter draws, guarded by mu
+	planVersion uint32     // re-stamped onto every redialed session
 }
 
 // NewReconnecting dials eagerly and returns a client that survives
@@ -212,6 +213,18 @@ func (r *ReconnectingClient) DatasetName() string { return r.datasetName }
 // NumSamples returns the dataset size from the original handshake.
 func (r *ReconnectingClient) NumSamples() int { return r.numSamples }
 
+// SetPlanVersion implements PlanVersioner: the version is forwarded to the
+// live session and re-applied to every session dialed after a reconnect, so
+// a mid-run redial never silently reverts fetches to an older stamp.
+func (r *ReconnectingClient) SetPlanVersion(v uint32) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.planVersion = v
+	if r.current != nil {
+		r.current.SetPlanVersion(v)
+	}
+}
+
 // acquire returns the live session and its generation, redialing if the
 // previous one was invalidated. Dialing happens under the lock, so exactly
 // one caller redials while the rest wait for the result.
@@ -228,6 +241,7 @@ func (r *ReconnectingClient) acquire() (*Client, int64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	next.SetPlanVersion(r.planVersion)
 	r.current = next
 	r.retries++
 	return r.current, r.gen, nil

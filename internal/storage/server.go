@@ -305,6 +305,9 @@ readLoop:
 // executor's core budget still bounds actual CPU parallelism) and the
 // response preserves request order.
 func (s *Server) handleFetchBatch(jobID uint64, req *wire.FetchBatch) *wire.FetchBatchResp {
+	// Observed once per batch; the per-item Fetch values synthesized below
+	// stay unversioned so the funnel in handleFetch does not double-count.
+	s.counters.ObservePlanVersion(req.PlanVersion)
 	resp := &wire.FetchBatchResp{
 		RequestID: req.RequestID,
 		Items:     make([]wire.FetchBatchRespItem, len(req.Items)),
@@ -333,6 +336,7 @@ func (s *Server) handleFetchBatch(jobID uint64, req *wire.FetchBatch) *wire.Fetc
 }
 
 func (s *Server) handleFetch(jobID uint64, req *wire.Fetch) *wire.FetchResp {
+	s.counters.ObservePlanVersion(req.PlanVersion)
 	resp := &wire.FetchResp{RequestID: req.RequestID, Sample: req.Sample, Split: req.Split}
 	raw, err := s.store.Get(req.Sample)
 	if err != nil {

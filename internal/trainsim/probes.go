@@ -20,6 +20,36 @@ func decodedDims(raw []byte) (int, int, error) {
 	return w, h, nil
 }
 
+// MeasureBandwidth estimates the storage link's current throughput in
+// bytes/second by fetching n raw samples serially over the shared session
+// and timing the wire bytes — the stage-1 I/O probe repurposed for the
+// adaptive control plane's between-epoch re-profiling. Serial fetches keep
+// the link the bottleneck, so under a shaped link the estimate converges on
+// the shaper's rate.
+func (t *Trainer) MeasureBandwidth(n int) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("trainsim: bandwidth probe of %d samples", n)
+	}
+	clock := t.cfg.Clock
+	var bytes int64
+	start := clock.Now()
+	for k := 0; k < n; k++ {
+		res, err := t.client.Fetch(context.Background(), uint32(k%t.n), 0, 0)
+		if err != nil {
+			return 0, fmt.Errorf("trainsim: bandwidth probe fetch %d: %w", k, err)
+		}
+		if res.Err != nil {
+			return 0, fmt.Errorf("trainsim: bandwidth probe fetch %d: %w", k, res.Err)
+		}
+		bytes += int64(res.WireBytes)
+	}
+	elapsed := clock.Now().Sub(start)
+	if elapsed <= 0 {
+		return 0, fmt.Errorf("trainsim: bandwidth probe of %d bytes took no time", bytes)
+	}
+	return float64(bytes) / elapsed.Seconds(), nil
+}
+
 // Stage1Probes builds the profiler's three throughput probes on top of this
 // trainer, matching the paper's measurement settings: (1) GPU-only steps on
 // synthetic batches, (2) raw fetches with no processing, (3) preprocessing

@@ -100,6 +100,9 @@ type EpochReport struct {
 	// Failed counts samples skipped in DegradedMode (fetches that kept
 	// failing after the retry layer gave up, e.g. on a dead shard).
 	Failed int
+	// PlanVersion is the control-plane version the epoch ran under (0 when
+	// the epoch was driven by RunEpoch with a bare plan).
+	PlanVersion policy.PlanVersion
 }
 
 // New validates the config and dials one client per worker.
@@ -209,6 +212,28 @@ type sampleOutcome struct {
 // cancels the epoch's context, which unblocks in-flight fetches promptly
 // without poisoning the session.
 func (t *Trainer) RunEpoch(epoch uint64, plan *policy.Plan, collector *profiler.Collector) (EpochReport, error) {
+	return t.runEpoch(epoch, plan, 0, collector)
+}
+
+// RunEpochSnapshot trains one epoch under a versioned plan snapshot from the
+// control plane. The snapshot's version is stamped onto the storage session
+// (when the client supports storage.PlanVersioner) so every fetch the epoch
+// issues carries it on the wire, and recorded in the report. Swapping
+// snapshots between epochs is always safe: preprocessing is deterministic in
+// (job, epoch, sample), so requests stamped with different versions — e.g.
+// in-flight fetches racing a swap — return identical artifacts for the same
+// split.
+func (t *Trainer) RunEpochSnapshot(epoch uint64, snap *policy.PlanSnapshot, collector *profiler.Collector) (EpochReport, error) {
+	if snap == nil {
+		return EpochReport{}, errors.New("trainsim: nil plan snapshot")
+	}
+	if pv, ok := t.client.(storage.PlanVersioner); ok {
+		pv.SetPlanVersion(uint32(snap.Version))
+	}
+	return t.runEpoch(epoch, snap.Plan, snap.Version, collector)
+}
+
+func (t *Trainer) runEpoch(epoch uint64, plan *policy.Plan, version policy.PlanVersion, collector *profiler.Collector) (EpochReport, error) {
 	if plan != nil && plan.N() != t.n {
 		return EpochReport{}, fmt.Errorf("trainsim: plan covers %d samples, dataset has %d", plan.N(), t.n)
 	}
@@ -290,7 +315,7 @@ func (t *Trainer) RunEpoch(epoch uint64, plan *policy.Plan, collector *profiler.
 		close(results)
 	}()
 
-	report := EpochReport{Epoch: epoch}
+	report := EpochReport{Epoch: epoch, PlanVersion: version}
 	inBatch := 0
 	var firstErr error
 	for out := range results {

@@ -18,11 +18,14 @@ type FetchBatchItem struct {
 	Split  uint8
 }
 
-// FetchBatch requests several samples in one frame, all for the same epoch.
+// FetchBatch requests several samples in one frame, all for the same epoch
+// and issued under the same control-plane snapshot (PlanVersion 0 =
+// unversioned; see the Fetch doc comment for swap semantics).
 type FetchBatch struct {
-	RequestID uint64
-	Epoch     uint64
-	Items     []FetchBatchItem
+	RequestID   uint64
+	Epoch       uint64
+	PlanVersion uint32
+	Items       []FetchBatchItem
 }
 
 // FetchBatchRespItem is one sample's outcome within a batch response.
@@ -46,13 +49,14 @@ const MaxBatchItems = 64
 func (*FetchBatch) Type() MsgType     { return TypeFetchBatch }
 func (*FetchBatchResp) Type() MsgType { return TypeFetchBatchResp }
 
-func (m *FetchBatch) payloadSize() int { return 18 + 5*len(m.Items) }
+func (m *FetchBatch) payloadSize() int { return 22 + 5*len(m.Items) }
 
 func (m *FetchBatch) appendPayload(p []byte) []byte {
-	var b [18]byte
+	var b [22]byte
 	binary.BigEndian.PutUint64(b[0:8], m.RequestID)
 	binary.BigEndian.PutUint64(b[8:16], m.Epoch)
-	binary.BigEndian.PutUint16(b[16:18], uint16(len(m.Items)))
+	binary.BigEndian.PutUint32(b[16:20], m.PlanVersion)
+	binary.BigEndian.PutUint16(b[20:22], uint16(len(m.Items)))
 	p = append(p, b[:]...)
 	for _, it := range m.Items {
 		var e [5]byte
@@ -64,20 +68,21 @@ func (m *FetchBatch) appendPayload(p []byte) []byte {
 }
 
 func (m *FetchBatch) decodePayload(p []byte) error {
-	if len(p) < 18 {
+	if len(p) < 22 {
 		return ErrTruncated
 	}
 	m.RequestID = binary.BigEndian.Uint64(p[0:8])
 	m.Epoch = binary.BigEndian.Uint64(p[8:16])
-	n := int(binary.BigEndian.Uint16(p[16:18]))
+	m.PlanVersion = binary.BigEndian.Uint32(p[16:20])
+	n := int(binary.BigEndian.Uint16(p[20:22]))
 	if n > MaxBatchItems {
 		return ErrFrameTooBig
 	}
-	if len(p) != 18+5*n {
+	if len(p) != 22+5*n {
 		return ErrTruncated
 	}
 	m.Items = make([]FetchBatchItem, n)
-	off := 18
+	off := 22
 	for i := range m.Items {
 		m.Items[i].Sample = binary.BigEndian.Uint32(p[off : off+4])
 		m.Items[i].Split = p[off+4]

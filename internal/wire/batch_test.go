@@ -9,8 +9,9 @@ import (
 
 func TestFetchBatchRoundTrip(t *testing.T) {
 	in := &FetchBatch{
-		RequestID: 9,
-		Epoch:     3,
+		RequestID:   9,
+		Epoch:       3,
+		PlanVersion: 2,
 		Items: []FetchBatchItem{
 			{Sample: 1, Split: 0},
 			{Sample: 7, Split: 2},
@@ -18,7 +19,7 @@ func TestFetchBatchRoundTrip(t *testing.T) {
 		},
 	}
 	got := roundTrip(t, in).(*FetchBatch)
-	if got.RequestID != 9 || got.Epoch != 3 || len(got.Items) != 3 {
+	if got.RequestID != 9 || got.Epoch != 3 || got.PlanVersion != 2 || len(got.Items) != 3 {
 		t.Fatalf("got %+v", got)
 	}
 	for i := range in.Items {
@@ -78,7 +79,7 @@ func TestFetchBatchCorruptPayloads(t *testing.T) {
 	}
 	declareN := func(size, n int) []byte {
 		p := make([]byte, size)
-		binary.BigEndian.PutUint16(p[16:18], uint16(n))
+		binary.BigEndian.PutUint16(p[20:22], uint16(n))
 		return p
 	}
 	declareRespN := func(size, n int) []byte {
@@ -88,7 +89,7 @@ func TestFetchBatchCorruptPayloads(t *testing.T) {
 	}
 	cases := map[string][]byte{
 		"batch short header":    mk(TypeFetchBatch, make([]byte, 10)),
-		"batch wrong item size": mk(TypeFetchBatch, declareN(20, 3)),
+		"batch wrong item size": mk(TypeFetchBatch, declareN(24, 3)),
 		"resp short header":     mk(TypeFetchBatchResp, make([]byte, 5)),
 		"resp truncated item":   mk(TypeFetchBatchResp, declareRespN(12, 1)),
 		"resp bad artifact len": mk(TypeFetchBatchResp, func() []byte {

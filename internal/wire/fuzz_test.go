@@ -46,7 +46,7 @@ func FuzzRoundTrip(f *testing.F) {
 		}
 
 		{
-			in := &Fetch{RequestID: reqID, Sample: sample, Split: split, Epoch: epoch}
+			in := &Fetch{RequestID: reqID, Sample: sample, Split: split, Epoch: epoch, PlanVersion: sample ^ uint32(epoch)}
 			got := check(in).(*Fetch)
 			if *got != *in {
 				t.Fatalf("Fetch %+v -> %+v", in, got)
@@ -69,7 +69,7 @@ func FuzzRoundTrip(f *testing.F) {
 		// bytes so each item carries a distinct payload, exercising the
 		// reassembly offsets item by item.
 		n := int(items)%MaxBatchItems + 1
-		req := &FetchBatch{RequestID: reqID, Epoch: epoch, Items: make([]FetchBatchItem, n)}
+		req := &FetchBatch{RequestID: reqID, Epoch: epoch, PlanVersion: sample ^ uint32(reqID), Items: make([]FetchBatchItem, n)}
 		resp := &FetchBatchResp{RequestID: reqID, Items: make([]FetchBatchRespItem, n)}
 		for i := 0; i < n; i++ {
 			req.Items[i] = FetchBatchItem{Sample: sample + uint32(i), Split: split + uint8(i)}
@@ -85,7 +85,8 @@ func FuzzRoundTrip(f *testing.F) {
 			}
 		}
 		gotReq := check(req).(*FetchBatch)
-		if gotReq.RequestID != req.RequestID || gotReq.Epoch != req.Epoch || len(gotReq.Items) != n {
+		if gotReq.RequestID != req.RequestID || gotReq.Epoch != req.Epoch ||
+			gotReq.PlanVersion != req.PlanVersion || len(gotReq.Items) != n {
 			t.Fatalf("FetchBatch %+v -> %+v", req, gotReq)
 		}
 		for i := range req.Items {

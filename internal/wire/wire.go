@@ -18,6 +18,14 @@
 // write whichever response finishes first. RequestID 0 is reserved for
 // connection-level messages (the handshake and fatal ErrorResp frames that
 // are not tied to a specific request).
+//
+// Protocol version 3 stamps every fetch directive with the PlanVersion it
+// was issued under, so a server can observe which control-plane snapshot a
+// request came from. During a plan swap a session legally carries
+// mixed-version requests in flight — fetches stay idempotent because
+// augmentation seeds depend only on (job, epoch, sample), never on the plan
+// version — so the field is observability and validation, not routing.
+// PlanVersion 0 means "unversioned" (a bare plan outside any provider).
 package wire
 
 import (
@@ -34,9 +42,9 @@ import (
 // Protocol constants.
 const (
 	Magic = 0x534F5048 // "SOPH"
-	// Version 2: responses carry RequestIDs everywhere (including Stats and
-	// Error frames) and may be delivered out of order.
-	Version      = 2
+	// Version 3: fetch directives carry the PlanVersion they were issued
+	// under (version 2 made the session multiplexed).
+	Version      = 3
 	frameHeader  = 14
 	MaxFrameSize = 64 << 20 // generous bound: a 224² tensor is ~600 KB
 	// HeaderSize is the exported on-wire frame-header length: magic (4),
@@ -138,6 +146,10 @@ type Fetch struct {
 	Sample    uint32
 	Split     uint8
 	Epoch     uint64
+	// PlanVersion is the control-plane snapshot this directive came from
+	// (0 = unversioned). It lets the server validate which plan epoch a
+	// request belongs to; it never affects the artifact produced.
+	PlanVersion uint32
 }
 
 // FetchStatus reports the outcome of a Fetch.
@@ -243,25 +255,27 @@ func (m *HelloAck) decodePayload(p []byte) error {
 	return nil
 }
 
-func (m *Fetch) payloadSize() int { return 21 }
+func (m *Fetch) payloadSize() int { return 25 }
 
 func (m *Fetch) appendPayload(p []byte) []byte {
-	var b [21]byte
+	var b [25]byte
 	binary.BigEndian.PutUint64(b[0:8], m.RequestID)
 	binary.BigEndian.PutUint32(b[8:12], m.Sample)
 	b[12] = m.Split
 	binary.BigEndian.PutUint64(b[13:21], m.Epoch)
+	binary.BigEndian.PutUint32(b[21:25], m.PlanVersion)
 	return append(p, b[:]...)
 }
 
 func (m *Fetch) decodePayload(p []byte) error {
-	if len(p) != 21 {
+	if len(p) != 25 {
 		return ErrTruncated
 	}
 	m.RequestID = binary.BigEndian.Uint64(p[0:8])
 	m.Sample = binary.BigEndian.Uint32(p[8:12])
 	m.Split = p[12]
 	m.Epoch = binary.BigEndian.Uint64(p[13:21])
+	m.PlanVersion = binary.BigEndian.Uint32(p[21:25])
 	return nil
 }
 

@@ -51,8 +51,8 @@ func TestHelloAckEmptyName(t *testing.T) {
 }
 
 func TestFetchRoundTrip(t *testing.T) {
-	got := roundTrip(t, &Fetch{RequestID: 7, Sample: 12345, Split: 2, Epoch: 9}).(*Fetch)
-	if got.RequestID != 7 || got.Sample != 12345 || got.Split != 2 || got.Epoch != 9 {
+	got := roundTrip(t, &Fetch{RequestID: 7, Sample: 12345, Split: 2, Epoch: 9, PlanVersion: 3}).(*Fetch)
+	if got.RequestID != 7 || got.Sample != 12345 || got.Split != 2 || got.Epoch != 9 || got.PlanVersion != 3 {
 		t.Fatalf("got %+v", got)
 	}
 }

@@ -68,7 +68,50 @@ type (
 	GPUModel = gpu.Model
 	// ExperimentOptions scales the paper-reproduction experiments.
 	ExperimentOptions = eval.Options
+
+	// PlanVersion is the control plane's monotonic plan identity.
+	PlanVersion = policy.PlanVersion
+	// PlanSnapshot is an immutable versioned plan plus the environment it
+	// was computed against.
+	PlanSnapshot = policy.PlanSnapshot
+	// PlanProvider is the consumer-side view of the adaptive control plane.
+	PlanProvider = policy.PlanProvider
+	// DriftConfig tunes the profiler's drift detection (EWMA smoothing,
+	// relative-change threshold, hysteresis).
+	DriftConfig = profiler.DriftConfig
+	// ReplanEvent is one control-plane transition in the replan history.
+	ReplanEvent = core.ReplanEvent
+	// EpochSample is one epoch's measured environment, fed to the
+	// controller at epoch boundaries.
+	EpochSample = profiler.EpochSample
+	// Drift reports one metric that moved past its gate.
+	Drift = profiler.Drift
+	// Controller is the adaptive control plane: telemetry in, versioned
+	// plans out.
+	Controller = core.Controller
+	// ControllerConfig configures NewController.
+	ControllerConfig = core.ControllerConfig
+	// AdaptiveSimConfig configures RunAdaptiveSim at the model tier.
+	AdaptiveSimConfig = core.SimConfig
+	// AdaptiveSimResult is a full adaptive (or static) simulated run.
+	AdaptiveSimResult = core.SimResult
 )
+
+// NewController builds the adaptive control plane over a profiled trace: it
+// computes the initial plan (version 1) and replans when observed telemetry
+// drifts from the environment the live plan assumes.
+func NewController(cfg ControllerConfig) (*Controller, error) {
+	return core.NewController(cfg)
+}
+
+// RunAdaptiveSim drives the controller loop through the discrete-event
+// engine: each epoch simulates the current plan against that epoch's true
+// environment and feeds the measured outcome back to the controller. Run it
+// twice — Adaptive true and false — over the same environment schedule to
+// compare adaptive against static replanning.
+func RunAdaptiveSim(cfg AdaptiveSimConfig) (AdaptiveSimResult, error) {
+	return core.RunAdaptiveSim(cfg)
+}
 
 // GPU model profiles.
 var (
@@ -170,6 +213,7 @@ type Cluster struct {
 	pipe     *pipeline.Pipeline
 	set      *dataset.ImageSet
 	addr     string
+	bucket   *netsim.TokenBucket
 }
 
 // StartCluster materializes a synthetic dataset into an in-memory store and
@@ -210,8 +254,9 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, fmt.Errorf("sophon: listen: %w", err)
 	}
 	var l net.Listener = inner
+	var bucket *netsim.TokenBucket
 	if cfg.BandwidthMbps > 0 {
-		bucket, err := netsim.NewTokenBucket(netsim.Mbps(cfg.BandwidthMbps), 256<<10, nil)
+		bucket, err = netsim.NewTokenBucket(netsim.Mbps(cfg.BandwidthMbps), 256<<10, nil)
 		if err != nil {
 			inner.Close()
 			return nil, err
@@ -222,7 +267,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		l = chaosListener{Listener: l, budget: cfg.ChaosConnBudget}
 	}
 	go srv.Serve(l)
-	return &Cluster{server: srv, listener: l, pipe: p, set: set, addr: inner.Addr().String()}, nil
+	return &Cluster{server: srv, listener: l, pipe: p, set: set, addr: inner.Addr().String(), bucket: bucket}, nil
 }
 
 // chaosListener wraps accepted connections with a byte-budget fault
@@ -252,6 +297,23 @@ func (c *Cluster) NumSamples() int { return c.set.N() }
 // Dial opens a storage client for the given training job.
 func (c *Cluster) Dial(jobID uint64) (*storage.Client, error) {
 	return storage.Dial(c.addr, jobID)
+}
+
+// SetBandwidth reshapes the storage→compute link to a new Mbps rate while
+// the cluster is serving — the live equivalent of a network degradation.
+// The cluster must have been started with a BandwidthMbps cap (an unshaped
+// link has nothing to reshape).
+func (c *Cluster) SetBandwidth(mbps float64) error {
+	if c.bucket == nil {
+		return errors.New("sophon: cluster started without bandwidth shaping")
+	}
+	return c.bucket.SetRate(netsim.Mbps(mbps))
+}
+
+// ServerPlanVersion returns the highest plan version the storage server has
+// observed on the wire (0 until versioned traffic arrives).
+func (c *Cluster) ServerPlanVersion() uint32 {
+	return c.server.Counters().PlanVersion.Load()
 }
 
 // ServerCPUNanos returns the storage node's accumulated preprocessing CPU
@@ -426,6 +488,13 @@ func (c cachingClient) FetchBatch(ctx context.Context, samples []uint32, splits 
 func (c cachingClient) NumSamples() int { return c.inner.NumSamples() }
 func (c cachingClient) Close() error    { return c.inner.Close() }
 
+// SetPlanVersion forwards the control plane's stamp through the cache layer.
+func (c cachingClient) SetPlanVersion(v uint32) {
+	if pv, ok := c.inner.(storage.PlanVersioner); ok {
+		pv.SetPlanVersion(v)
+	}
+}
+
 // N returns the dataset size the server reported.
 func (t *Trainer) N() int { return t.n }
 
@@ -435,6 +504,20 @@ func (t *Trainer) Close() { t.inner.Close() }
 // TrainEpoch runs one epoch under plan (nil means no offloading).
 func (t *Trainer) TrainEpoch(epoch uint64, plan *Plan) (EpochReport, error) {
 	return t.inner.RunEpoch(epoch, plan, nil)
+}
+
+// TrainEpochSnapshot runs one epoch under a versioned plan snapshot from the
+// control plane: every fetch is stamped with the snapshot's version and the
+// report records it.
+func (t *Trainer) TrainEpochSnapshot(epoch uint64, snap *PlanSnapshot) (EpochReport, error) {
+	return t.inner.RunEpochSnapshot(epoch, snap, nil)
+}
+
+// MeasureBandwidth probes the storage link's current throughput in
+// bytes/second with n serial raw fetches (the adaptive loop's between-epoch
+// re-profiling).
+func (t *Trainer) MeasureBandwidth(n int) (float64, error) {
+	return t.inner.MeasureBandwidth(n)
 }
 
 // Profile runs the paper's two-stage profiler: stage 1 measures GPU/IO/CPU
@@ -493,4 +576,60 @@ func (t *Trainer) AutoTrain(epochs int, env Env, probeBatches int) (Decision, []
 		reports = append(reports, rep)
 	}
 	return decision, reports, nil
+}
+
+// AdaptiveTrainResult is the outcome of an adaptive live training run.
+type AdaptiveTrainResult struct {
+	// Reports holds one entry per epoch, the profiling epoch included; each
+	// records the plan version it ran under.
+	Reports []EpochReport
+	// History is the controller's replan history, the "initial" plan first.
+	History []ReplanEvent
+	// Final is the planning outcome in force when training ended.
+	Final Decision
+}
+
+// AutoTrainAdaptive is AutoTrain with the control plane closed into a loop:
+// after the profiling epoch seeds the plan, every later epoch runs under the
+// controller's current snapshot, a serial fetch probe re-measures the link,
+// and the controller replans at the next epoch boundary when the measurement
+// drifts past the configured gates. The zero DriftConfig uses the default
+// thresholds. Bandwidth probing fetches raw samples, so runs with a local
+// cache attached (TrainerOptions.CacheBytes) will measure the cache, not
+// the link.
+func (t *Trainer) AutoTrainAdaptive(epochs int, env Env, probeBatches int, drift DriftConfig) (AdaptiveTrainResult, error) {
+	if epochs < 1 {
+		return AdaptiveTrainResult{}, errors.New("sophon: epochs must be >= 1")
+	}
+	trace, _, first, err := t.Profile(probeBatches)
+	if err != nil {
+		return AdaptiveTrainResult{}, err
+	}
+	ctrl, err := core.NewController(core.ControllerConfig{Trace: trace, Env: env, Drift: drift})
+	if err != nil {
+		return AdaptiveTrainResult{}, err
+	}
+	// The probe covers a few batches of samples: enough wire traffic to
+	// amortize the shaper's burst allowance without rereading the dataset.
+	probeSamples := 4 * 32
+	if probeSamples > t.n {
+		probeSamples = t.n
+	}
+	reports := []EpochReport{first}
+	for e := 2; e <= epochs; e++ {
+		snap := ctrl.Current()
+		rep, err := t.inner.RunEpochSnapshot(uint64(e), snap, nil)
+		if err != nil {
+			return AdaptiveTrainResult{}, err
+		}
+		reports = append(reports, rep)
+		bw, err := t.MeasureBandwidth(probeSamples)
+		if err != nil {
+			return AdaptiveTrainResult{}, err
+		}
+		if _, _, err := ctrl.ObserveEpoch(profiler.EpochSample{Epoch: uint64(e), Bandwidth: bw}); err != nil {
+			return AdaptiveTrainResult{}, err
+		}
+	}
+	return AdaptiveTrainResult{Reports: reports, History: ctrl.History(), Final: ctrl.Decision()}, nil
 }
