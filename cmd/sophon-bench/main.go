@@ -22,6 +22,13 @@
 // replanning at the next epoch boundary — and writes a JSON report comparing
 // adaptive, static, and oracle epoch times (the contents of BENCH_pr5.json).
 //
+// With -fleet the command instead runs the multi-tenant fleet scenario — 100
+// jobs (20 datasets × 5 tenants) planned by the fleet coordinator against the
+// shared tier budgets versus 100 independent single-job planners, both
+// replayed through the deterministic fleet DES with the cross-job artifact
+// cache — and writes a JSON comparison (the contents of BENCH_pr6.json). The
+// coordinated replay runs twice; mismatching digests fail the command.
+//
 // With -chaos.seed the command instead runs the deterministic chaos soak: a
 // trainer over a fault-injected sharded storage tier, checked against a
 // fault-free reference for bit-identical artifacts and exact failure
@@ -228,7 +235,17 @@ func main() {
 	chaosClass := flag.String("chaos.class", "mixed", "chaos soak fault class: none|delays|corrupt|mixed|partition")
 	chaosDuration := flag.Duration("chaos.duration", 0, "keep soaking with derived seeds until this much time has passed")
 	adaptiveOut := flag.String("adaptive", "", "run the adaptive control-plane scenario (500→250 Mbps reshape) and write the JSON report to this file (skips the evaluation)")
+	fleetOut := flag.String("fleet", "", "run the 100-job fleet scenario (coordinated vs independent planning on a shared tier) and write the JSON report to this file (skips the evaluation)")
 	flag.Parse()
+
+	if *fleetOut != "" {
+		if err := writeFleetJSON(*fleetOut, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "sophon-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "sophon-bench: fleet scenario written to %s\n", *fleetOut)
+		return
+	}
 
 	if *adaptiveOut != "" {
 		if err := writeAdaptiveJSON(*adaptiveOut, *seed); err != nil {

@@ -1,7 +1,9 @@
-// Multi-tenant: the paper's future-work scheduler — three training jobs
-// share one storage node's preprocessing cores; the marginal-gain allocator
-// re-plans each job with SOPHON at every grant and beats a naive even
-// split.
+// Multi-tenant fleet: three training jobs share one storage tier through
+// the fleet coordinator. Two tenants train on the SAME dataset and share
+// offloaded artifacts through the cross-job cache; a third tenant arrives
+// mid-run and the whole fleet replans — every tenant's plan feed publishes
+// a new generation with shrunken grants. The example trains real epochs
+// over sockets and prints the cache's per-tenant accounting.
 package main
 
 import (
@@ -11,45 +13,172 @@ import (
 	sophon "repro"
 )
 
+const (
+	samples   = 400
+	shareKey  = 42 // dataset share key = every group tenant's storage job ID
+	linkMbps  = 300
+	fleetCPUs = 6
+)
+
 func main() {
+	// One storage tier, bandwidth-shaped, with a shared preprocessing-core
+	// budget the coordinator will divide among tenants.
+	cluster, err := sophon.StartCluster(sophon.ClusterConfig{
+		DatasetName:   "fleet-demo",
+		NumSamples:    samples,
+		Seed:          7,
+		MinDim:        64,
+		MaxDim:        200,
+		CropSize:      64,
+		StorageCores:  fleetCPUs,
+		BandwidthMbps: linkMbps,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// The fleet coordinator owns the tier's budgets: per-shard cores and
+	// link bandwidth, divided weighted-fair across admitted tenants.
+	coord, err := sophon.NewFleetCoordinator(sophon.FleetCoordinatorConfig{
+		Cores:     fleetCPUs,
+		Bandwidth: sophon.Mbps(linkMbps),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	env := sophon.Env{
-		Bandwidth:       sophon.Mbps(500),
-		ComputeCores:    48,
+		Bandwidth:       sophon.Mbps(linkMbps), // overridden by the grant
+		ComputeCores:    8,
 		StorageSlowdown: 1,
 		GPU:             sophon.AlexNet,
 	}
-
-	mk := func(p sophon.Profile, seed uint64) *sophon.Trace {
-		tr, err := sophon.GenerateTrace(p, seed)
+	trace := func(seed uint64) *sophon.Trace {
+		tr, err := sophon.GenerateTrace(sophon.OpenImagesProfile(samples), seed)
 		if err != nil {
 			log.Fatal(err)
 		}
 		return tr
 	}
-	jobs := []sophon.TenantJob{
-		{Name: "vision-team-a", Trace: mk(sophon.OpenImagesProfile(5000), 1), Env: env},
-		{Name: "vision-team-b", Trace: mk(sophon.OpenImagesProfile(5000), 2), Env: env},
-		{Name: "imagenet-job", Trace: mk(sophon.ImageNetProfile(11000), 3), Env: env},
-	}
 
-	const totalCores = 8
-	smart, err := sophon.AllocateCores(jobs, totalCores)
+	// Admit the first two tenants: same dataset (share key 42), so their
+	// offloaded artifacts are interchangeable.
+	provA, err := coord.Admit(sophon.FleetTenant{
+		Name: "vision-team-a", Trace: trace(1), Env: env, Dataset: shareKey,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	even, err := sophon.EvenSplitCores(jobs, totalCores)
+	provB, err := coord.Admit(sophon.FleetTenant{
+		Name: "vision-team-b", Trace: trace(1), Env: env, Dataset: shareKey,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("three jobs share %d storage cores\n\n", totalCores)
-	fmt.Printf("%-15s %18s %18s\n", "job", "marginal-gain", "even-split")
-	for _, j := range jobs {
-		fmt.Printf("%-15s %8.1fs (%d cores) %8.1fs (%d cores)\n",
-			j.Name,
-			smart.Predicted[j.Name].Seconds(), smart.Cores[j.Name],
-			even.Predicted[j.Name].Seconds(), even.Cores[j.Name])
+	fmt.Printf("fleet generation %d: 2 tenants admitted\n", coord.Generation())
+	printGrants(coord)
+
+	// The cross-job artifact cache every tenant of the share group stacks
+	// over its storage session.
+	shared, err := sophon.NewSharedArtifactCache(256 << 20)
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("\ntotal predicted epoch time: marginal-gain %.1fs vs even-split %.1fs\n",
-		smart.TotalPredicted().Seconds(), even.TotalPredicted().Seconds())
+	newTrainer := func(name string, jobID uint64, sharedCache *sophon.SharedArtifactCache) *sophon.Trainer {
+		t, err := cluster.NewTrainer(sophon.TrainerOptions{
+			Workers:     4,
+			BatchSize:   32,
+			JobID:       jobID,
+			SharedCache: sharedCache,
+			TenantName:  name,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return t
+	}
+
+	// Epoch 1: tenant a trains first (cold cache), tenant b second — its
+	// overlap with a is served from the shared cache at zero wire bytes.
+	// Coordinated prep: both group tenants dial with the GROUP's share key.
+	trainerA := newTrainer("vision-team-a", shareKey, shared)
+	trainerB := newTrainer("vision-team-b", shareKey, shared)
+	defer trainerA.Close()
+	defer trainerB.Close()
+
+	repA, err := trainerA.TrainEpochSnapshot(1, provA.Current())
+	if err != nil {
+		log.Fatal(err)
+	}
+	repB, err := trainerB.TrainEpochSnapshot(1, provB.Current())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nepoch 1 (plan generation %d):\n", provA.Current().Version)
+	fmt.Printf("  %-15s %6.2fs  %8.1f MB fetched\n", "vision-team-a", repA.Duration.Seconds(), float64(repA.BytesFetched)/1e6)
+	fmt.Printf("  %-15s %6.2fs  %8.1f MB fetched\n", "vision-team-b", repB.Duration.Seconds(), float64(repB.BytesFetched)/1e6)
+
+	// A third tenant arrives mid-run. Admission replans the fleet: both
+	// existing feeds publish a higher generation with tighter grants.
+	subA := provA.Subscribe()
+	provC, err := coord.Admit(sophon.FleetTenant{
+		Name: "imagenet-job", Trace: trace(3), Env: env,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	replanned := <-subA
+	fmt.Printf("\nmid-run arrival: %s → fleet generation %d (reason %q)\n",
+		"imagenet-job", replanned.Version, replanned.Reason)
+	printGrants(coord)
+
+	// Epoch 2 runs under the replanned generation. The share group's raw
+	// artifacts are still warm from epoch 1; augmented cuts are re-fetched
+	// once per epoch and shared again between a and b.
+	repA2, err := trainerA.TrainEpochSnapshot(2, replanned)
+	if err != nil {
+		log.Fatal(err)
+	}
+	repB2, err := trainerB.TrainEpochSnapshot(2, provB.Current())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The newcomer is outside the share group: own job ID, no shared cache.
+	trainerC := newTrainer("imagenet-job", 99, nil)
+	defer trainerC.Close()
+	repC, err := trainerC.TrainEpochSnapshot(2, provC.Current())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nepoch 2 (plan generation %d):\n", replanned.Version)
+	fmt.Printf("  %-15s %6.2fs  %8.1f MB fetched\n", "vision-team-a", repA2.Duration.Seconds(), float64(repA2.BytesFetched)/1e6)
+	fmt.Printf("  %-15s %6.2fs  %8.1f MB fetched\n", "vision-team-b", repB2.Duration.Seconds(), float64(repB2.BytesFetched)/1e6)
+	fmt.Printf("  %-15s %6.2fs  %8.1f MB fetched\n", "imagenet-job", repC.Duration.Seconds(), float64(repC.BytesFetched)/1e6)
+
+	snap := shared.Snapshot()
+	fmt.Printf("\ncross-job artifact cache: %d items, %.1f MB resident, hit rate %.0f%%\n",
+		snap.Items, float64(snap.Bytes)/1e6, 100*snap.HitRate())
+	for _, name := range snap.TenantNames() {
+		ts := snap.Tenants[name]
+		fmt.Printf("  %-15s %4d hits, %4d misses, %6.1f MB saved off the wire\n",
+			name, ts.Hits, ts.Misses, float64(ts.BytesSaved)/1e6)
+	}
+	if snap.Hits == 0 {
+		log.Fatal("expected shared-cache hits between the share group's tenants")
+	}
+
+	fmt.Printf("\nfleet history:\n")
+	for _, e := range coord.History() {
+		fmt.Printf("  %s\n", e)
+	}
+}
+
+// printGrants lists every tenant's grant in admission order.
+func printGrants(coord *sophon.FleetCoordinator) {
+	for _, row := range coord.Status().Tenants {
+		fmt.Printf("  %-15s %d cores, %5.1f Mbps, predicted %5.1fs\n",
+			row.Name, row.Cores, row.BandwidthMBps, row.PredictedSeconds)
+	}
 }

@@ -1,0 +1,228 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/policy"
+)
+
+func fleetJobs(t testing.TB, n int, samples int, shareKey uint64) []FleetJob {
+	t.Helper()
+	jobs := make([]FleetJob, n)
+	for i := range jobs {
+		tr, err := dataset.GenerateTrace(dataset.OpenImages12G().ScaledTo(samples), 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := policy.NewSophon().Plan(tr, env(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = FleetJob{
+			Name:    "job" + string(rune('a'+i)),
+			Trace:   tr,
+			Plan:    plan,
+			Dataset: shareKey,
+		}
+	}
+	return jobs
+}
+
+func TestRunFleetValidation(t *testing.T) {
+	jobs := fleetJobs(t, 1, 50, 0)
+	if _, err := RunFleet(FleetConfig{Env: env(4)}); err == nil {
+		t.Fatal("accepted empty fleet")
+	}
+	if _, err := RunFleet(FleetConfig{Jobs: jobs, Env: policy.Env{}}); err == nil {
+		t.Fatal("accepted invalid env")
+	}
+	anon := []FleetJob{{Trace: jobs[0].Trace, Plan: jobs[0].Plan}}
+	if _, err := RunFleet(FleetConfig{Jobs: anon, Env: env(4)}); err == nil {
+		t.Fatal("accepted unnamed job")
+	}
+	dup := []FleetJob{jobs[0], jobs[0]}
+	if _, err := RunFleet(FleetConfig{Jobs: dup, Env: env(4)}); err == nil {
+		t.Fatal("accepted duplicate names")
+	}
+	short, _ := policy.NewUniformPlan("s", 10, 0)
+	bad := []FleetJob{{Name: "bad", Trace: jobs[0].Trace, Plan: short}}
+	if _, err := RunFleet(FleetConfig{Jobs: bad, Env: env(4)}); err == nil {
+		t.Fatal("accepted mismatched plan")
+	}
+	if _, err := RunFleet(FleetConfig{Jobs: jobs, Env: env(0)}); err == nil {
+		t.Fatal("accepted offloading plan on a 0-core tier")
+	}
+	if _, err := RunFleet(FleetConfig{Jobs: jobs, Env: env(4), CacheBytes: -1}); err == nil {
+		t.Fatal("accepted negative cache capacity")
+	}
+}
+
+// Same seed, same fleet → bit-identical digests. This is the CI determinism
+// gate's contract.
+func TestRunFleetDeterministic(t *testing.T) {
+	jobs := fleetJobs(t, 4, 200, 7)
+	cfg := FleetConfig{
+		Jobs:        jobs,
+		Env:         env(4),
+		BatchSize:   64,
+		CacheBytes:  64 << 20,
+		ShuffleSeed: 42,
+	}
+	a, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("same seed, different digests: %x vs %x", a.Digest, b.Digest)
+	}
+	cfg.ShuffleSeed = 43
+	c, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Digest == a.Digest {
+		t.Fatal("different seeds collided on the same digest")
+	}
+}
+
+// A single-job fleet with no cache degenerates to the single-job engine: the
+// epoch time must match Run's within the same model.
+func TestRunFleetMatchesSingleJobEngine(t *testing.T) {
+	jobs := fleetJobs(t, 1, 300, 0)
+	e := env(4)
+	fleet, err := RunFleet(FleetConfig{Jobs: jobs, Env: e, BatchSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := Run(Config{Trace: jobs[0].Trace, Plan: jobs[0].Plan, Env: e, BatchSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Jobs[0].EpochTime != solo.EpochTime {
+		t.Fatalf("fleet epoch %v vs solo epoch %v", fleet.Jobs[0].EpochTime, solo.EpochTime)
+	}
+	if fleet.TrafficBytes != solo.TrafficBytes {
+		t.Fatalf("fleet traffic %d vs solo %d", fleet.TrafficBytes, solo.TrafficBytes)
+	}
+}
+
+// Tenants of one share group hit the shared cache on each other's fetches;
+// private jobs (Dataset 0) never do.
+func TestRunFleetSharedCacheHits(t *testing.T) {
+	shared := fleetJobs(t, 3, 150, 9)
+	cfg := FleetConfig{Jobs: shared, Env: env(4), BatchSize: 32, CacheBytes: 1 << 30}
+	res, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHits == 0 {
+		t.Fatal("overlapping tenants produced no shared-cache hits")
+	}
+	if res.CacheHitRate() < 0.5 {
+		// 3 identical tenants with an unbounded cache: at most one miss per
+		// (sample, cut), so the hit rate approaches 2/3.
+		t.Fatalf("hit rate %.2f, want ≥ 0.5 for identical tenants", res.CacheHitRate())
+	}
+	if res.CacheBytesSaved == 0 {
+		t.Fatal("hits saved no bytes")
+	}
+
+	private := fleetJobs(t, 3, 150, 0)
+	cfg.Jobs = private
+	res, err = RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHits != 0 || res.CacheMisses != 0 {
+		t.Fatalf("private jobs touched the shared cache: %d hits %d misses",
+			res.CacheHits, res.CacheMisses)
+	}
+}
+
+// The cache cuts both traffic and epoch time for a network-bound share group.
+func TestRunFleetCacheReducesTrafficAndTime(t *testing.T) {
+	jobs := fleetJobs(t, 3, 200, 5)
+	base := FleetConfig{Jobs: jobs, Env: env(4), BatchSize: 64}
+	cold, err := RunFleet(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.CacheBytes = 1 << 30
+	warm, err := RunFleet(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.TrafficBytes >= cold.TrafficBytes {
+		t.Fatalf("cache did not cut traffic: %d vs %d", warm.TrafficBytes, cold.TrafficBytes)
+	}
+	if warm.AggregateEpochTime >= cold.AggregateEpochTime {
+		t.Fatalf("cache did not cut aggregate epoch time: %v vs %v",
+			warm.AggregateEpochTime, cold.AggregateEpochTime)
+	}
+}
+
+// A bounded cache admits until full and stays within capacity.
+func TestRunFleetCacheRespectsCapacity(t *testing.T) {
+	jobs := fleetJobs(t, 2, 200, 3)
+	small := FleetConfig{Jobs: jobs, Env: env(4), BatchSize: 64, CacheBytes: 1 << 20}
+	big := FleetConfig{Jobs: jobs, Env: env(4), BatchSize: 64, CacheBytes: 1 << 30}
+	sRes, err := RunFleet(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bRes, err := RunFleet(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sRes.CacheHits >= bRes.CacheHits {
+		t.Fatalf("1MiB cache (%d hits) not worse than 1GiB (%d hits)",
+			sRes.CacheHits, bRes.CacheHits)
+	}
+}
+
+// 100-job smoke: the determinism digest holds at fleet scale.
+func TestRunFleetHundredJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet-scale replay")
+	}
+	var jobs []FleetJob
+	for d := 0; d < 20; d++ {
+		group := fleetJobs(t, 5, 40, uint64(d+1))
+		for i := range group {
+			group[i].Name = group[i].Name + "-" + string(rune('A'+d))
+		}
+		jobs = append(jobs, group...)
+	}
+	cfg := FleetConfig{
+		Jobs:        jobs,
+		Env:         env(8),
+		BatchSize:   16,
+		CacheBytes:  256 << 20,
+		ShuffleSeed: 1,
+	}
+	a, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("100-job replay not deterministic: %x vs %x", a.Digest, b.Digest)
+	}
+	if len(a.Jobs) != 100 {
+		t.Fatalf("replay covered %d jobs", len(a.Jobs))
+	}
+	if a.CacheHits == 0 {
+		t.Fatal("20 share groups of 5 produced no cache hits")
+	}
+	if a.Makespan <= 0 || a.AggregateEpochTime < a.Makespan {
+		t.Fatalf("inconsistent times: makespan %v aggregate %v", a.Makespan, a.AggregateEpochTime)
+	}
+}

@@ -1,0 +1,126 @@
+package monitor
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/dataset"
+	"repro/internal/gpu"
+	"repro/internal/netsim"
+	"repro/internal/policy"
+	"repro/internal/sched"
+)
+
+func fleetFixture(t *testing.T) (*sched.Coordinator, *cache.SharedArtifactCache) {
+	t.Helper()
+	coord, err := sched.NewCoordinator(sched.FleetConfig{Cores: 4, Bandwidth: netsim.Mbps(500)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := dataset.GenerateTrace(dataset.OpenImages12G().ScaledTo(500), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := policy.Env{Bandwidth: netsim.Mbps(500), ComputeCores: 16, StorageSlowdown: 1, GPU: gpu.AlexNet}
+	for _, name := range []string{"alpha", "beta"} {
+		if _, err := coord.Admit(sched.Tenant{Name: name, Trace: tr, Env: env, Dataset: 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shared, err := cache.NewShared(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared.Put("alpha", cache.ArtifactKey{Dataset: 5, Sample: 1}, []byte{1, 2, 3})
+	if _, ok := shared.Get("beta", cache.ArtifactKey{Dataset: 5, Sample: 1}); !ok {
+		t.Fatal("fixture cache miss")
+	}
+	return coord, shared
+}
+
+func TestStatsReportsFleetAndSharedCache(t *testing.T) {
+	coord, shared := fleetFixture(t)
+	m, _, _ := testMonitor()
+	m.WatchFleet(coord).WatchSharedCache(shared)
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got struct {
+		Fleet *struct {
+			Generation uint64 `json:"generation"`
+			CoresUsed  int    `json:"cores_used"`
+			Tenants    []struct {
+				Name  string `json:"name"`
+				Cores int    `json:"cores"`
+			} `json:"tenants"`
+			History []json.RawMessage `json:"history"`
+		} `json:"fleet"`
+		SharedCache *struct {
+			Items   int                               `json:"items"`
+			Hits    int64                             `json:"hits"`
+			Tenants map[string]map[string]json.Number `json:"tenants"`
+		} `json:"shared_cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Fleet == nil {
+		t.Fatal("/stats has no fleet section")
+	}
+	if got.Fleet.Generation != 2 || len(got.Fleet.Tenants) != 2 {
+		t.Fatalf("fleet section: generation %d, %d tenants", got.Fleet.Generation, len(got.Fleet.Tenants))
+	}
+	if got.Fleet.Tenants[0].Name != "alpha" || got.Fleet.Tenants[1].Name != "beta" {
+		t.Fatalf("tenants out of admission order: %+v", got.Fleet.Tenants)
+	}
+	if len(got.Fleet.History) != 2 {
+		t.Fatalf("history has %d events", len(got.Fleet.History))
+	}
+	if got.SharedCache == nil {
+		t.Fatal("/stats has no shared_cache section")
+	}
+	if got.SharedCache.Items != 1 || got.SharedCache.Hits != 1 {
+		t.Fatalf("shared cache section: %+v", got.SharedCache)
+	}
+	if _, ok := got.SharedCache.Tenants["beta"]; !ok {
+		t.Fatal("per-tenant cache accounting missing")
+	}
+}
+
+func TestMetricsReportsFleetAndSharedCache(t *testing.T) {
+	coord, shared := fleetFixture(t)
+	m, _, _ := testMonitor()
+	m.WatchFleet(coord).WatchSharedCache(shared)
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		"sophon_fleet_generation 2",
+		"sophon_fleet_tenants 2",
+		"sophon_tenant_cores{tenant=\"alpha\"}",
+		"sophon_shared_cache_items 1",
+		"sophon_shared_cache_hits 1",
+		"sophon_shared_cache_tenant_hits{tenant=\"beta\"} 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -13,10 +13,12 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/profiler"
+	"repro/internal/sched"
 	"repro/internal/simclock"
 	"repro/internal/storage"
 )
@@ -28,6 +30,19 @@ type ControlPlane interface {
 	Current() *policy.PlanSnapshot
 	History() []core.ReplanEvent
 	Telemetry() *profiler.Telemetry
+}
+
+// FleetPlane is the fleet coordinator's observability surface: the live
+// tenant roster with grants and the admission/departure/drift event history.
+// It is satisfied by *sched.Coordinator.
+type FleetPlane interface {
+	Status() sched.FleetStatus
+}
+
+// SharedCacheView is the cross-job artifact cache's observability surface.
+// It is satisfied by *cache.SharedArtifactCache.
+type SharedCacheView interface {
+	Snapshot() cache.SharedSnapshot
 }
 
 // Server wires a metrics registry and storage counters into an HTTP mux. It
@@ -42,6 +57,9 @@ type Server struct {
 	clock    simclock.Clock
 	start    time.Time
 	plane    ControlPlane
+
+	fleet  FleetPlane
+	shared SharedCacheView
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -79,6 +97,21 @@ func (s *Server) WatchControlPlane(p ControlPlane) *Server {
 	return s
 }
 
+// WatchFleet attaches the fleet coordinator so /stats and /metrics report the
+// tenant roster, per-tenant grants, and fleet events; call before serving.
+func (s *Server) WatchFleet(f FleetPlane) *Server {
+	s.fleet = f
+	return s
+}
+
+// WatchSharedCache attaches the cross-job artifact cache so /stats and
+// /metrics report fleet-wide and per-tenant hit/byte accounting; call before
+// serving.
+func (s *Server) WatchSharedCache(c SharedCacheView) *Server {
+	s.shared = c
+	return s
+}
+
 // statsSnapshot is the JSON shape of /stats. The top-level fields aggregate
 // across every watched server; PerServer breaks them out per shard.
 type statsSnapshot struct {
@@ -95,6 +128,8 @@ type statsSnapshot struct {
 	PlanVersion     uint32                `json:"plan_version"`
 	PlanRegressions uint64                `json:"plan_regressions"`
 	ControlPlane    *controlPlaneSnapshot `json:"control_plane,omitempty"`
+	Fleet           *sched.FleetStatus    `json:"fleet,omitempty"`
+	SharedCache     *cache.SharedSnapshot `json:"shared_cache,omitempty"`
 	PerServer       []serverSnapshot      `json:"per_server,omitempty"`
 	Counters        map[string]int64      `json:"counters,omitempty"`
 	Gauges          map[string]int64      `json:"gauges,omitempty"`
@@ -174,6 +209,14 @@ func (s *Server) snapshot() statsSnapshot {
 			Drift:          s.plane.Telemetry().Snapshot(),
 		}
 	}
+	if s.fleet != nil {
+		st := s.fleet.Status()
+		out.Fleet = &st
+	}
+	if s.shared != nil {
+		sc := s.shared.Snapshot()
+		out.SharedCache = &sc
+	}
 	if s.registry != nil {
 		snap := s.registry.Snapshot()
 		out.Counters = snap.Counters
@@ -226,6 +269,29 @@ func (s *Server) Handler() http.Handler {
 			fmt.Fprintf(w, "sophon_drift_bandwidth_baseline_bytes_per_sec %g\n", cp.Drift.BandwidthBaseline)
 			fmt.Fprintf(w, "sophon_drift_storage_occupancy %g\n", cp.Drift.StorageOccupancy)
 			fmt.Fprintf(w, "sophon_drift_shards_up %d\n", cp.Drift.ShardsUp)
+		}
+		if fl := snap.Fleet; fl != nil {
+			fmt.Fprintf(w, "sophon_fleet_generation %d\n", fl.Generation)
+			fmt.Fprintf(w, "sophon_fleet_tenants %d\n", len(fl.Tenants))
+			fmt.Fprintf(w, "sophon_fleet_cores_used %d\n", fl.CoresUsed)
+			fmt.Fprintf(w, "sophon_fleet_cores_total %d\n", fl.Cores)
+			for _, t := range fl.Tenants {
+				fmt.Fprintf(w, "sophon_tenant_cores{tenant=\"%s\"} %d\n", t.Name, t.Cores)
+				fmt.Fprintf(w, "sophon_tenant_bandwidth_mbps{tenant=\"%s\"} %g\n", t.Name, t.BandwidthMBps)
+				fmt.Fprintf(w, "sophon_tenant_offloaded{tenant=\"%s\"} %d\n", t.Name, t.Offloaded)
+			}
+		}
+		if sc := snap.SharedCache; sc != nil {
+			fmt.Fprintf(w, "sophon_shared_cache_items %d\n", sc.Items)
+			fmt.Fprintf(w, "sophon_shared_cache_bytes %d\n", sc.Bytes)
+			fmt.Fprintf(w, "sophon_shared_cache_hits %d\n", sc.Hits)
+			fmt.Fprintf(w, "sophon_shared_cache_misses %d\n", sc.Misses)
+			fmt.Fprintf(w, "sophon_shared_cache_evictions %d\n", sc.Evictions)
+			for _, name := range sc.TenantNames() {
+				ts := sc.Tenants[name]
+				fmt.Fprintf(w, "sophon_shared_cache_tenant_hits{tenant=\"%s\"} %d\n", name, ts.Hits)
+				fmt.Fprintf(w, "sophon_shared_cache_tenant_bytes_saved{tenant=\"%s\"} %d\n", name, ts.BytesSaved)
+			}
 		}
 		if s.registry != nil {
 			fmt.Fprint(w, s.registry.Snapshot().String())

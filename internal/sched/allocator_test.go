@@ -1,0 +1,122 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/netsim"
+)
+
+// Table tests for the allocator's edge paths: a zero-core job must still
+// carry a valid transfer-only plan, a single job absorbs the whole budget it
+// can use, and an exhausted budget leaves late jobs planned at zero cores.
+func TestAllocateEdgeCases(t *testing.T) {
+	jobs := makeJobs(t)
+	cases := []struct {
+		name  string
+		jobs  []Job
+		cores int
+		check func(t *testing.T, jobs []Job, a Allocation)
+	}{
+		{
+			name:  "zero-core jobs get transfer-only plans",
+			jobs:  jobs,
+			cores: 0,
+			check: func(t *testing.T, jobs []Job, a Allocation) {
+				for _, j := range jobs {
+					plan, ok := a.Plans[j.Name]
+					if !ok || plan == nil {
+						t.Fatalf("job %s dropped from the allocation", j.Name)
+					}
+					if plan.N() != j.Trace.N() {
+						t.Fatalf("job %s: plan covers %d of %d samples", j.Name, plan.N(), j.Trace.N())
+					}
+					if plan.OffloadedCount() != 0 {
+						t.Fatalf("job %s offloads %d samples with 0 cores", j.Name, plan.OffloadedCount())
+					}
+					if a.Predicted[j.Name] <= 0 {
+						t.Fatalf("job %s has no predicted epoch time", j.Name)
+					}
+				}
+			},
+		},
+		{
+			name:  "single job absorbs the budget",
+			jobs:  jobs[:1],
+			cores: 8,
+			check: func(t *testing.T, jobs []Job, a Allocation) {
+				if len(a.Cores) != 1 {
+					t.Fatalf("allocation covers %d jobs, want 1", len(a.Cores))
+				}
+				if a.Cores[jobs[0].Name] == 0 {
+					t.Fatal("network-bound single job granted nothing")
+				}
+				if a.Plans[jobs[0].Name].OffloadedCount() == 0 {
+					t.Fatal("granted cores but the plan offloads nothing")
+				}
+			},
+		},
+		{
+			name:  "cores exhausted before every job is served",
+			jobs:  jobs,
+			cores: 1,
+			check: func(t *testing.T, jobs []Job, a Allocation) {
+				spent, zeroed := 0, 0
+				for _, j := range jobs {
+					c := a.Cores[j.Name]
+					spent += c
+					if c == 0 {
+						zeroed++
+						if a.Plans[j.Name].OffloadedCount() != 0 {
+							t.Fatalf("job %s offloads without a core", j.Name)
+						}
+					}
+				}
+				if spent != 1 {
+					t.Fatalf("spent %d of 1 core", spent)
+				}
+				if zeroed != len(jobs)-1 {
+					t.Fatalf("%d of %d jobs at zero cores, want %d", zeroed, len(jobs), len(jobs)-1)
+				}
+				// The starved jobs still carry usable transfer-only plans.
+				for _, j := range jobs {
+					if a.Plans[j.Name] == nil || a.Plans[j.Name].N() != j.Trace.N() {
+						t.Fatalf("job %s lacks a full-coverage plan", j.Name)
+					}
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, err := Allocate(tc.jobs, tc.cores, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, tc.jobs, a)
+		})
+	}
+}
+
+// A compute-bound job (huge local CPU pool, fat link) gains nothing from
+// offloading; the allocator must leave it at zero cores rather than burn
+// budget, and its plan stays transfer-only.
+func TestAllocateSkipsComputeBoundJob(t *testing.T) {
+	tr, err := dataset.GenerateTrace(dataset.OpenImages12G().ScaledTo(800), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := jobEnv()
+	env.Bandwidth = netsim.Mbps(100_000) // link is never the bottleneck
+	jobs := []Job{{Name: "compute-bound", Trace: tr, Env: env}}
+	a, err := Allocate(jobs, 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Cores["compute-bound"]; got != 0 {
+		t.Fatalf("compute-bound job granted %d cores", got)
+	}
+	if a.Plans["compute-bound"].OffloadedCount() != 0 {
+		t.Fatal("compute-bound job offloads")
+	}
+}

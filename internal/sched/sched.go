@@ -1,9 +1,11 @@
-// Package sched implements the paper's multi-tenant future-work extension:
-// dividing a storage node's CPU cores among several concurrent training
-// jobs. The allocator is a marginal-gain water-filling loop: each core goes
-// to the job whose predicted epoch time (after re-running SOPHON's decision
-// engine at the candidate core count) drops the most, until cores run out
-// or no job benefits.
+// Package sched implements the paper's multi-tenant future-work extension,
+// grown into a fleet control plane. The core is a marginal-gain
+// water-filling allocator: each storage-CPU core goes to the job whose
+// predicted epoch time (after re-running SOPHON's decision engine at the
+// candidate core count) drops the most, until cores run out or no job
+// benefits. The fleet coordinator (fleet.go) generalizes it to weighted
+// fair-share admission of live tenants against shared per-shard core and
+// bandwidth budgets, with per-tenant plan feeds.
 package sched
 
 import (
@@ -23,7 +25,9 @@ type Job struct {
 	Env   policy.Env
 }
 
-// Allocation is the scheduler's output.
+// Allocation is the scheduler's output. Every job appears in all three
+// maps — a job granted zero cores still carries a valid transfer-only plan
+// and a predicted epoch time; nothing is silently dropped.
 type Allocation struct {
 	// Cores maps job name to granted storage cores.
 	Cores map[string]int
@@ -43,84 +47,114 @@ func (a Allocation) TotalPredicted() time.Duration {
 	return sum
 }
 
-// Allocate distributes totalCores across the jobs. A nil engine means the
-// default SOPHON engine.
-func Allocate(jobs []Job, totalCores int, engine *policy.Sophon) (Allocation, error) {
+// checkJobs validates a job set: unique non-empty names, non-empty traces,
+// and environments valid at every candidate core count.
+func checkJobs(jobs []Job) error {
 	if len(jobs) == 0 {
-		return Allocation{}, errors.New("sched: no jobs")
-	}
-	if totalCores < 0 {
-		return Allocation{}, fmt.Errorf("sched: negative core budget %d", totalCores)
-	}
-	if engine == nil {
-		engine = policy.NewSophon()
+		return errors.New("sched: no jobs")
 	}
 	seen := make(map[string]bool, len(jobs))
 	for i, j := range jobs {
 		if j.Name == "" {
-			return Allocation{}, fmt.Errorf("sched: job %d has no name", i)
+			return fmt.Errorf("sched: job %d has no name", i)
 		}
 		if seen[j.Name] {
-			return Allocation{}, fmt.Errorf("sched: duplicate job name %q", j.Name)
+			return fmt.Errorf("sched: duplicate job name %q", j.Name)
 		}
 		seen[j.Name] = true
 		if j.Trace == nil || j.Trace.N() == 0 {
-			return Allocation{}, fmt.Errorf("sched: job %q has an empty trace", j.Name)
+			return fmt.Errorf("sched: job %q has an empty trace", j.Name)
 		}
 		env := j.Env
 		env.StorageCores = 0
 		if err := env.Validate(); err != nil {
-			return Allocation{}, fmt.Errorf("sched: job %q: %w", j.Name, err)
+			return fmt.Errorf("sched: job %q: %w", j.Name, err)
 		}
 	}
+	return nil
+}
 
-	// evaluate returns the plan and predicted epoch for a job at c cores,
-	// memoized per (job, cores).
-	type outcome struct {
-		plan *policy.Plan
-		time time.Duration
+// outcome is one (job, cores) planning result.
+type outcome struct {
+	plan *policy.Plan
+	time time.Duration
+}
+
+// evaluator plans jobs at candidate core counts, memoized per (job, cores).
+type evaluator struct {
+	engine *policy.Sophon
+	memo   map[string]outcome
+}
+
+func newEvaluator(engine *policy.Sophon) *evaluator {
+	if engine == nil {
+		engine = policy.NewSophon()
 	}
-	memo := make(map[string]outcome)
-	evaluate := func(j Job, cores int) (outcome, error) {
-		key := fmt.Sprintf("%s/%d", j.Name, cores)
-		if o, ok := memo[key]; ok {
-			return o, nil
-		}
-		env := j.Env
-		env.StorageCores = cores
-		plan, err := engine.Plan(j.Trace, env)
-		if err != nil {
-			return outcome{}, fmt.Errorf("sched: plan %q at %d cores: %w", j.Name, cores, err)
-		}
-		m, err := policy.ModelFor(j.Trace, plan, env)
-		if err != nil {
-			return outcome{}, fmt.Errorf("sched: model %q at %d cores: %w", j.Name, cores, err)
-		}
-		o := outcome{plan: plan, time: m.Predicted()}
-		memo[key] = o
+	return &evaluator{engine: engine, memo: make(map[string]outcome)}
+}
+
+// evaluate returns the plan and predicted epoch for a job at c cores. The
+// plan is never nil: a job that cannot offload (zero cores, or a workload
+// that is not network-bound) gets the transfer-only plan.
+func (e *evaluator) evaluate(j Job, cores int) (outcome, error) {
+	key := fmt.Sprintf("%s/%d", j.Name, cores)
+	if o, ok := e.memo[key]; ok {
 		return o, nil
 	}
+	env := j.Env
+	env.StorageCores = cores
+	plan, err := e.engine.Plan(j.Trace, env)
+	if err != nil {
+		return outcome{}, fmt.Errorf("sched: plan %q at %d cores: %w", j.Name, cores, err)
+	}
+	if plan == nil {
+		// Defensive: no engine path returns (nil, nil) today, but the
+		// allocation invariant — every job holds a usable plan — must not
+		// depend on that.
+		plan, err = policy.TransferOnly(j.Name, j.Trace.N())
+		if err != nil {
+			return outcome{}, err
+		}
+	}
+	m, err := policy.ModelFor(j.Trace, plan, env)
+	if err != nil {
+		return outcome{}, fmt.Errorf("sched: model %q at %d cores: %w", j.Name, cores, err)
+	}
+	o := outcome{plan: plan, time: m.Predicted()}
+	e.memo[key] = o
+	return o, nil
+}
 
+// waterFill runs the marginal-gain loop over validated jobs: each core goes
+// to the job maximizing weight × predicted-epoch-time drop. weights may be
+// nil (all 1). Returns every job's grant and final outcome.
+func waterFill(jobs []Job, weights []float64, totalCores int, ev *evaluator) (map[string]int, map[string]outcome, error) {
 	granted := make(map[string]int, len(jobs))
 	current := make(map[string]outcome, len(jobs))
 	for _, j := range jobs {
-		o, err := evaluate(j, 0)
+		o, err := ev.evaluate(j, 0)
 		if err != nil {
-			return Allocation{}, err
+			return nil, nil, err
 		}
 		current[j.Name] = o
+		granted[j.Name] = 0
 	}
-
+	weightOf := func(i int) float64 {
+		if weights == nil || weights[i] <= 0 {
+			return 1
+		}
+		return weights[i]
+	}
 	for c := 0; c < totalCores; c++ {
 		bestIdx := -1
-		var bestGain time.Duration
+		var bestGain float64
 		var bestNext outcome
 		for i, j := range jobs {
-			next, err := evaluate(j, granted[j.Name]+1)
+			next, err := ev.evaluate(j, granted[j.Name]+1)
 			if err != nil {
-				return Allocation{}, err
+				return nil, nil, err
 			}
-			gain := current[j.Name].time - next.time
+			gain := weightOf(i) * float64(current[j.Name].time-next.time)
 			if gain > bestGain { // ties resolve to the earliest job
 				bestGain = gain
 				bestIdx = i
@@ -134,35 +168,45 @@ func Allocate(jobs []Job, totalCores int, engine *policy.Sophon) (Allocation, er
 		granted[name]++
 		current[name] = bestNext
 	}
+	return granted, current, nil
+}
 
+// Allocate distributes totalCores across the jobs. A nil engine means the
+// default SOPHON engine. Every job appears in the returned allocation; jobs
+// granted zero cores carry a transfer-only plan.
+func Allocate(jobs []Job, totalCores int, engine *policy.Sophon) (Allocation, error) {
+	if err := checkJobs(jobs); err != nil {
+		return Allocation{}, err
+	}
+	if totalCores < 0 {
+		return Allocation{}, fmt.Errorf("sched: negative core budget %d", totalCores)
+	}
+	granted, current, err := waterFill(jobs, nil, totalCores, newEvaluator(engine))
+	if err != nil {
+		return Allocation{}, err
+	}
 	alloc := Allocation{
 		Cores:     granted,
 		Plans:     make(map[string]*policy.Plan, len(jobs)),
 		Predicted: make(map[string]time.Duration, len(jobs)),
 	}
 	for _, j := range jobs {
-		if _, ok := granted[j.Name]; !ok {
-			granted[j.Name] = 0
-		}
 		alloc.Plans[j.Name] = current[j.Name].plan
 		alloc.Predicted[j.Name] = current[j.Name].time
 	}
-	alloc.Cores = granted
 	return alloc, nil
 }
 
 // EvenSplit is the naive baseline: totalCores divided equally (remainder to
 // the first jobs), with SOPHON planning at the fixed grant.
 func EvenSplit(jobs []Job, totalCores int, engine *policy.Sophon) (Allocation, error) {
-	if len(jobs) == 0 {
-		return Allocation{}, errors.New("sched: no jobs")
+	if err := checkJobs(jobs); err != nil {
+		return Allocation{}, err
 	}
 	if totalCores < 0 {
 		return Allocation{}, fmt.Errorf("sched: negative core budget %d", totalCores)
 	}
-	if engine == nil {
-		engine = policy.NewSophon()
-	}
+	ev := newEvaluator(engine)
 	base := totalCores / len(jobs)
 	rem := totalCores % len(jobs)
 	alloc := Allocation{
@@ -175,19 +219,13 @@ func EvenSplit(jobs []Job, totalCores int, engine *policy.Sophon) (Allocation, e
 		if i < rem {
 			cores++
 		}
-		env := j.Env
-		env.StorageCores = cores
-		plan, err := engine.Plan(j.Trace, env)
+		o, err := ev.evaluate(j, cores)
 		if err != nil {
-			return Allocation{}, fmt.Errorf("sched: even split %q: %w", j.Name, err)
-		}
-		m, err := policy.ModelFor(j.Trace, plan, env)
-		if err != nil {
-			return Allocation{}, fmt.Errorf("sched: even split model %q: %w", j.Name, err)
+			return Allocation{}, fmt.Errorf("sched: even split: %w", err)
 		}
 		alloc.Cores[j.Name] = cores
-		alloc.Plans[j.Name] = plan
-		alloc.Predicted[j.Name] = m.Predicted()
+		alloc.Plans[j.Name] = o.plan
+		alloc.Predicted[j.Name] = o.time
 	}
 	return alloc, nil
 }

@@ -363,6 +363,14 @@ type TrainerOptions struct {
 	// of that capacity in front of the storage client (shared across the
 	// trainer's workers).
 	CacheBytes int64
+	// SharedCache, when non-nil, stacks the fleet's cross-job artifact
+	// cache over the session: artifacts another tenant of the share group
+	// already fetched are served from memory at zero wire bytes. JobID must
+	// be the group's dataset share key (coordinated prep), and TenantName
+	// labels this trainer in the cache's per-tenant accounting.
+	SharedCache *SharedArtifactCache
+	// TenantName is required with SharedCache.
+	TenantName string
 }
 
 // Trainer is a live training client.
@@ -409,6 +417,14 @@ func (c *Cluster) NewTrainer(opts TrainerOptions) (*Trainer, error) {
 		}
 		if sharedCache != nil {
 			client = cachingClient{inner: client, cache: sharedCache}
+		}
+		if opts.SharedCache != nil {
+			tf, err := cache.NewTenantFetcher(client, opts.SharedCache, opts.TenantName, opts.JobID)
+			if err != nil {
+				client.Close()
+				return nil, err
+			}
+			client = tf
 		}
 		return client, nil
 	}
