@@ -10,8 +10,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/dataset"
 )
 
@@ -22,7 +24,13 @@ func main() {
 	name := flag.String("name", "synthetic", "dataset name")
 	minDim := flag.Int("min-dim", 80, "smallest image side (px)")
 	maxDim := flag.Int("max-dim", 480, "largest image side (px)")
-	flag.Parse()
+	cliutil.Parse("datagen", "Writes a synthetic SJPG dataset directory for sophon-server -data-dir.")
+
+	logger := log.New(os.Stderr, "datagen: ", 0)
+	cliutil.ValidateInts(logger,
+		map[string]bool{"n": true, "min-dim": true, "max-dim": true},
+		nil,
+		map[string]int{"n": *n, "min-dim": *minDim, "max-dim": *maxDim})
 
 	set, err := dataset.NewSyntheticImageSet(dataset.SyntheticOptions{
 		Name: *name, N: *n, Seed: *seed, MinDim: *minDim, MaxDim: *maxDim,

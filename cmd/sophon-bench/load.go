@@ -1,0 +1,242 @@
+package main
+
+// The -load / -gate / -convert modes: the heavy-traffic serving harness's
+// CLI surface. -load runs the open-loop load generator against the simulated
+// sharded tier and writes a versioned SLO record; -gate.cur diffs a fresh
+// record against the committed baseline and exits non-zero on regression
+// (the CI perf-trajectory gate); -convert folds historical BENCH_pr*.json
+// records into one TRAJECTORY file.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/gpu"
+	"repro/internal/loadgen"
+	"repro/internal/netsim"
+	"repro/internal/perfbench"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/simclock"
+)
+
+// loadOptions collects the -load.* knobs.
+type loadOptions struct {
+	sessions int
+	duration time.Duration
+	shards   int
+	cores    int
+	mbps     float64
+}
+
+// buildLoadJobs derives the mixed job profiles from fleet tenant specs: two
+// tenants (an OpenImages-profile job and an ImageNet-profile job) admitted
+// to one coordinator sharing the tier's cores and link, their grants turned
+// into loadgen specs. Roughly 2/3 of the sessions go to the heavier tenant.
+// Arrival rates are scaled so the offered link traffic is util × the tier's
+// capacity — util < 1 is a steady workload, util > 1 open-loop overload.
+func buildLoadJobs(seed uint64, opt loadOptions, util float64) ([]loadgen.JobSpec, error) {
+	trA, err := dataset.GenerateTrace(dataset.OpenImages12G().ScaledTo(1200), seed)
+	if err != nil {
+		return nil, err
+	}
+	trB, err := dataset.GenerateTrace(dataset.ImageNet11G().ScaledTo(800), seed+1)
+	if err != nil {
+		return nil, err
+	}
+	coord, err := sched.NewCoordinator(sched.FleetConfig{
+		Cores:     opt.shards * opt.cores,
+		Bandwidth: netsim.Mbps(opt.mbps),
+		Shards:    opt.shards,
+		Clock:     simclock.NewVirtual(time.Unix(0, 0)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	env := policy.Env{
+		ComputeCores:    16,
+		Bandwidth:       netsim.Mbps(opt.mbps),
+		StorageSlowdown: 1,
+		GPU:             gpu.AlexNet,
+	}
+	tenants := []sched.Tenant{
+		{Name: "openimages", Weight: 2, Trace: trA, Env: env},
+		{Name: "imagenet", Weight: 1, Trace: trB, Env: env},
+	}
+	var jobs []loadgen.JobSpec
+	for i, t := range tenants {
+		if _, err := coord.Admit(t); err != nil {
+			return nil, fmt.Errorf("admit %s: %w", t.Name, err)
+		}
+		grant := coord.Grants()[t.Name]
+		sessions := opt.sessions * 2 / 3
+		hitRate := 0.4
+		if i == 1 {
+			sessions = opt.sessions - sessions
+			hitRate = 0.3
+		}
+		// Provisional per-session rates (scaled to the link below): the
+		// heavier tenant's sessions also arrive faster.
+		spec := loadgen.SpecFromTenant(t, grant, sessions, 1.5, hitRate)
+		if i == 1 {
+			// The lighter tenant arrives in bursts — mixed arrival processes
+			// stress the admission queue harder than two smooth streams.
+			spec.Arrival = loadgen.Bursty
+			spec.Burst = 8
+			spec.Rate = 1
+		}
+		jobs = append(jobs, spec)
+	}
+	// Scale every rate so offered traffic = util × tier bandwidth.
+	var offered float64
+	for _, j := range jobs {
+		perReq := j.Mix[1]*float64(j.OffloadedBytes) + j.Mix[2]*float64(j.RawBytes)
+		offered += float64(j.Sessions) * j.Rate * perReq
+	}
+	if offered <= 0 {
+		return nil, fmt.Errorf("load workload offers no link traffic")
+	}
+	scale := util * netsim.Mbps(opt.mbps) / offered
+	for i := range jobs {
+		jobs[i].Rate *= scale
+	}
+	return jobs, nil
+}
+
+// runLoadScenario runs one named workload through the DES harness.
+func runLoadScenario(name string, seed uint64, opt loadOptions, util float64, adm loadgen.AdmissionSpec) (perfbench.SLOScenario, *loadgen.Report, error) {
+	jobs, err := buildLoadJobs(seed, opt, util)
+	if err != nil {
+		return perfbench.SLOScenario{}, nil, err
+	}
+	rep, err := loadgen.Run(loadgen.Config{
+		Seed:            seed,
+		Duration:        opt.duration,
+		Jobs:            jobs,
+		Shards:          opt.shards,
+		CoresPerShard:   opt.cores,
+		LinkBytesPerSec: netsim.Mbps(opt.mbps) / float64(opt.shards),
+		Admission:       adm,
+	})
+	if err != nil {
+		return perfbench.SLOScenario{}, nil, err
+	}
+	return perfbench.ScenarioFromReport(name, rep), rep, nil
+}
+
+// writeLoadJSON runs the steady and overload scenarios and writes the SLO
+// record. Steady offers ~65% of tier capacity; overload offers 2.6x
+// capacity against a tight admission budget, so the record shows both
+// nominal SLOs and shed-load behavior.
+func writeLoadJSON(path string, seed uint64, opt loadOptions) error {
+	steady, steadyRep, err := runLoadScenario("steady", seed, opt, 0.65, loadgen.AdmissionSpec{})
+	if err != nil {
+		return err
+	}
+	overload, overloadRep, err := runLoadScenario("overload", seed, opt, 2.6, loadgen.AdmissionSpec{
+		MaxInFlightBytes:  2 << 20,
+		MaxQueuePerTenant: 16,
+	})
+	if err != nil {
+		return err
+	}
+	record := perfbench.SLORecord{
+		Kind:      "SLO",
+		Version:   perfbench.SLORecordVersion,
+		GoVersion: runtime.Version(),
+		Seed:      seed,
+		Scenarios: []perfbench.SLOScenario{steady, overload},
+	}
+	data, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, s := range []struct {
+		name string
+		rep  *loadgen.Report
+	}{{"steady", steadyRep}, {"overload", overloadRep}} {
+		fmt.Fprintf(os.Stderr, "sophon-bench: %-8s %d sessions, %.0f rps offered, %.0f rps served, %.2f%% shed",
+			s.name, s.rep.Sessions, s.rep.OfferedRPS, s.rep.ThroughputRPS, 100*s.rep.ShedRate)
+		if c := s.rep.Classes["raw"]; c != nil {
+			fmt.Fprintf(os.Stderr, ", raw p99 %.2f ms", float64(c.P99.Nanoseconds())/1e6)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+	return nil
+}
+
+// runGate loads two SLO records and prints every regression past the noise
+// threshold; returns false (→ exit 1) when any is found.
+func runGate(prevPath, curPath string, noise float64) bool {
+	read := func(path string) (perfbench.SLORecord, bool) {
+		var rec perfbench.SLORecord
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sophon-bench: %v\n", err)
+			return rec, false
+		}
+		if err := json.Unmarshal(data, &rec); err != nil {
+			fmt.Fprintf(os.Stderr, "sophon-bench: %s: %v\n", path, err)
+			return rec, false
+		}
+		if rec.Kind != "SLO" {
+			fmt.Fprintf(os.Stderr, "sophon-bench: %s: kind %q, want SLO\n", path, rec.Kind)
+			return rec, false
+		}
+		return rec, true
+	}
+	prev, ok := read(prevPath)
+	if !ok {
+		return false
+	}
+	cur, ok := read(curPath)
+	if !ok {
+		return false
+	}
+	regs := perfbench.CompareSLO(prev, cur, noise)
+	if len(regs) == 0 {
+		fmt.Fprintf(os.Stderr, "sophon-bench: gate PASS (%s vs %s)\n", curPath, prevPath)
+		return true
+	}
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "sophon-bench: gate FAIL: %s\n", r)
+	}
+	return false
+}
+
+// writeConvertJSON folds the comma-separated record files into one
+// TRAJECTORY file, in the order given.
+func writeConvertJSON(files, outPath string) error {
+	traj := perfbench.Trajectory{Kind: "TRAJECTORY", Version: 1}
+	for _, f := range strings.Split(files, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		e, err := perfbench.ConvertBenchRecord(f, data)
+		if err != nil {
+			return err
+		}
+		traj.Entries = append(traj.Entries, e)
+	}
+	if len(traj.Entries) == 0 {
+		return fmt.Errorf("no records in -convert %q", files)
+	}
+	data, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+}

@@ -29,6 +29,17 @@
 // cache — and writes a JSON comparison (the contents of BENCH_pr6.json). The
 // coordinated replay runs twice; mismatching digests fail the command.
 //
+// With -load the command instead runs the heavy-traffic serving harness:
+// thousands of open-loop sessions (Poisson and bursty arrivals, job profiles
+// drawn from fleet tenant specs) against the simulated sharded tier, once at
+// ~65% of link capacity and once at 2.6x capacity behind admission control.
+// The output is a versioned SLO record — p50/p90/p99/p999 per fetch class
+// (cache hit / offloaded / raw) plus throughput and shed rates — the
+// contents of BENCH_pr7.json. -gate.prev/-gate.cur diff two such records and
+// exit non-zero on any p99 or throughput regression past -gate.noise (the CI
+// perf-trajectory gate), and -convert folds historical BENCH_pr*.json and
+// SLO records into one TRAJECTORY.json time series.
+//
 // With -chaos.seed the command instead runs the deterministic chaos soak: a
 // trainer over a fault-injected sharded storage tier, checked against a
 // fault-free reference for bit-identical artifacts and exact failure
@@ -42,10 +53,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"runtime"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/engine"
@@ -236,7 +249,63 @@ func main() {
 	chaosDuration := flag.Duration("chaos.duration", 0, "keep soaking with derived seeds until this much time has passed")
 	adaptiveOut := flag.String("adaptive", "", "run the adaptive control-plane scenario (500→250 Mbps reshape) and write the JSON report to this file (skips the evaluation)")
 	fleetOut := flag.String("fleet", "", "run the 100-job fleet scenario (coordinated vs independent planning on a shared tier) and write the JSON report to this file (skips the evaluation)")
-	flag.Parse()
+	loadOut := flag.String("load", "", "run the heavy-traffic load harness (steady + overload scenarios) and write the SLO record to this file (skips the evaluation)")
+	loadSessions := flag.Int("load.sessions", 2400, "total concurrent sessions across the load tenants")
+	loadDuration := flag.Duration("load.duration", 5*time.Second, "simulated load window per scenario")
+	loadShards := flag.Int("load.shards", 4, "storage shards in the simulated tier")
+	loadCores := flag.Int("load.cores", 8, "offload cores per shard")
+	loadMbps := flag.Float64("load.mbps", 500, "total tier bandwidth (Mbit/s), split evenly across shards; the default matches the paper's 500 Mbps storage link")
+	gatePrev := flag.String("gate.prev", "", "perf-trajectory gate: committed baseline SLO record")
+	gateCur := flag.String("gate.cur", "", "perf-trajectory gate: freshly generated SLO record to check")
+	gateNoise := flag.Float64("gate.noise", 0, "gate noise threshold as a fraction (0 = default 0.10)")
+	convertIn := flag.String("convert", "", "comma-separated BENCH/SLO record files to fold into one TRAJECTORY file")
+	convertOut := flag.String("convert.o", "TRAJECTORY.json", "output path for -convert")
+	cliutil.Parse("sophon-bench", "Regenerates the paper's evaluation tables, micro-benchmarks, and load/SLO records.")
+
+	logger := log.New(os.Stderr, "sophon-bench: ", 0)
+	cliutil.ValidateInts(logger,
+		map[string]bool{"load.sessions": true, "load.shards": true, "load.cores": true},
+		map[string]bool{"openimages": true, "imagenet": true},
+		map[string]int{
+			"load.sessions": *loadSessions, "load.shards": *loadShards, "load.cores": *loadCores,
+			"openimages": *openImages, "imagenet": *imageNet,
+		})
+
+	if *loadOut != "" {
+		opt := loadOptions{
+			sessions: *loadSessions,
+			duration: *loadDuration,
+			shards:   *loadShards,
+			cores:    *loadCores,
+			mbps:     *loadMbps,
+		}
+		if err := writeLoadJSON(*loadOut, *seed, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "sophon-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "sophon-bench: SLO record written to %s\n", *loadOut)
+		return
+	}
+
+	if *gateCur != "" || *gatePrev != "" {
+		if *gateCur == "" || *gatePrev == "" {
+			fmt.Fprintln(os.Stderr, "sophon-bench: -gate.prev and -gate.cur must be set together")
+			os.Exit(2)
+		}
+		if !runGate(*gatePrev, *gateCur, *gateNoise) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *convertIn != "" {
+		if err := writeConvertJSON(*convertIn, *convertOut); err != nil {
+			fmt.Fprintf(os.Stderr, "sophon-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "sophon-bench: trajectory written to %s\n", *convertOut)
+		return
+	}
 
 	if *fleetOut != "" {
 		if err := writeFleetJSON(*fleetOut, *seed); err != nil {

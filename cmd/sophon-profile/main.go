@@ -11,10 +11,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"sort"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/dataset"
 	"repro/internal/gpu"
 	"repro/internal/netsim"
@@ -31,7 +33,13 @@ func main() {
 	modelName := flag.String("model", "alexnet", "GPU model profile")
 	dumpTrace := flag.String("dump-trace", "", "write the generated trace to this file (for sophon-train -trace-file)")
 	dumpPlan := flag.String("dump-plan", "", "write the SOPHON plan to this file (for sophon-train -plan-file)")
-	flag.Parse()
+	cliutil.Parse("sophon-profile", "Inspects a dataset profile and previews the SOPHON offload plan for an environment.")
+
+	logger := log.New(os.Stderr, "sophon-profile: ", 0)
+	cliutil.ValidateInts(logger,
+		map[string]bool{"cores": true},
+		map[string]bool{"n": true},
+		map[string]int{"cores": *cores, "n": *n})
 
 	var profile dataset.Profile
 	switch strings.ToLower(*profileName) {
@@ -40,22 +48,19 @@ func main() {
 	case "imagenet":
 		profile = dataset.ImageNet11G()
 	default:
-		fmt.Fprintf(os.Stderr, "sophon-profile: unknown profile %q\n", *profileName)
-		os.Exit(1)
+		logger.Fatalf("unknown profile %q", *profileName)
 	}
 	if *n > 0 {
 		profile = profile.ScaledTo(*n)
 	}
 	model, err := gpu.ByName(*modelName)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sophon-profile: %v\n", err)
-		os.Exit(1)
+		logger.Fatal(err)
 	}
 
 	tr, err := dataset.GenerateTrace(profile, *seed)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sophon-profile: %v\n", err)
-		os.Exit(1)
+		logger.Fatal(err)
 	}
 
 	fmt.Printf("dataset %s: %d samples, %.2f GB raw (mean %.0f KB)\n",
@@ -97,13 +102,11 @@ func main() {
 	}
 	plan, err := policy.NewSophon().Plan(tr, env)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sophon-profile: %v\n", err)
-		os.Exit(1)
+		logger.Fatal(err)
 	}
 	m, err := policy.ModelFor(tr, plan, env)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sophon-profile: %v\n", err)
-		os.Exit(1)
+		logger.Fatal(err)
 	}
 	base, _ := policy.NewUniformPlan("No-Off", tr.N(), 0)
 	bm, _ := policy.ModelFor(tr, base, env)
@@ -125,15 +128,13 @@ func main() {
 
 	if *dumpTrace != "" {
 		if err := persist.SaveTrace(*dumpTrace, tr); err != nil {
-			fmt.Fprintf(os.Stderr, "sophon-profile: %v\n", err)
-			os.Exit(1)
+			logger.Fatal(err)
 		}
 		fmt.Printf("\ntrace written to %s\n", *dumpTrace)
 	}
 	if *dumpPlan != "" {
 		if err := persist.SavePlan(*dumpPlan, plan); err != nil {
-			fmt.Fprintf(os.Stderr, "sophon-profile: %v\n", err)
-			os.Exit(1)
+			logger.Fatal(err)
 		}
 		fmt.Printf("plan written to %s\n", *dumpPlan)
 	}

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"syscall"
 
+	"repro/internal/cliutil"
 	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/monitor"
@@ -34,24 +35,6 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/storage"
 )
-
-// validateFlags rejects flag values that would otherwise misbehave
-// silently. Flags where 0 means "use the default" are only rejected when
-// the user set them explicitly.
-func validateFlags(logger *log.Logger, positive map[string]bool, zeroMeansDefault map[string]bool, values map[string]int) {
-	explicit := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	for name, v := range values {
-		switch {
-		case positive[name] && v <= 0:
-			logger.Fatalf("-%s must be positive, got %d", name, v)
-		case zeroMeansDefault[name] && v < 0:
-			logger.Fatalf("-%s must be non-negative, got %d", name, v)
-		case zeroMeansDefault[name] && v == 0 && explicit[name]:
-			logger.Fatalf("-%s must be positive when set explicitly (omit it for the default)", name)
-		}
-	}
-}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "listen address (shard i listens on port+i)")
@@ -69,10 +52,13 @@ func main() {
 	idle := flag.Duration("idle-timeout", 0, "drop connections idle for this long (0 = never)")
 	maxInFlight := flag.Int("max-inflight", 0, "max concurrently handled requests per connection (0 = default 32)")
 	shards := flag.Int("shards", 1, "number of shard servers (rendezvous-hashed sample placement)")
-	flag.Parse()
+	admitBytes := flag.Int64("admit-bytes", 0, "global in-flight byte budget shared by all shards (0 = admission disabled)")
+	admitQueue := flag.Int("admit-queue", 0, "max queued requests per tenant at the admission gate (0 = default)")
+	retryAfter := flag.Duration("retry-after", 0, "backoff hint carried by shed-load rejections (0 = default)")
+	cliutil.Parse("sophon-server", "Serves a synthetic dataset over the SOPHON wire protocol with near-storage preprocessing.")
 
 	logger := log.New(os.Stderr, "sophon-server: ", log.LstdFlags)
-	validateFlags(logger,
+	cliutil.ValidateInts(logger,
 		map[string]bool{"n": true, "shards": true},
 		map[string]bool{"max-inflight": true},
 		map[string]int{"n": *n, "shards": *shards, "max-inflight": *maxInFlight})
@@ -124,6 +110,22 @@ func main() {
 	}
 	pipe := pipeline.Standard(pipeline.StandardOptions{CropSize: *crop, FlipP: -1})
 
+	var admission *storage.AdmissionController
+	if *admitBytes != 0 {
+		admission, err = storage.NewAdmissionController(storage.AdmissionConfig{
+			MaxInFlightBytes:  *admitBytes,
+			MaxQueuePerTenant: *admitQueue,
+			RetryAfter:        *retryAfter,
+		})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("admission: %.1f MB in-flight budget shared across %d shard(s), retry-after %v",
+			float64(*admitBytes)/1e6, *shards, admission.RetryAfterHint())
+	} else if *admitQueue != 0 || *retryAfter != 0 {
+		logger.Fatal("-admit-queue/-retry-after need -admit-bytes > 0")
+	}
+
 	servers := make([]*storage.Server, *shards)
 	listeners := make([]net.Listener, *shards)
 	counters := make([]*storage.Counters, *shards)
@@ -152,6 +154,7 @@ func main() {
 			Slowdown:    *slowdown,
 			IdleTimeout: *idle,
 			MaxInFlight: *maxInFlight,
+			Admission:   admission,
 			Logger:      logger,
 		})
 		if err != nil {
@@ -183,6 +186,9 @@ func main() {
 
 	if *httpAddr != "" {
 		mon := monitor.NewMulti(nil, counters...)
+		if admission != nil {
+			mon.WatchAdmission(admission)
+		}
 		bound, err := mon.ListenAndServe(*httpAddr)
 		if err != nil {
 			logger.Fatal(err)

@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -74,10 +75,10 @@ func main() {
 	adaptive := flag.Bool("adaptive", false, "adaptive control plane: re-probe the link each epoch and replan on drift (sophon policies only)")
 	driftThreshold := flag.Float64("drift-threshold", 0, "relative change that counts as drift (0 = default 0.2)")
 	driftHysteresis := flag.Int("drift-hysteresis", 0, "consecutive drifted epochs before replanning (0 = default 2)")
-	flag.Parse()
+	cliutil.Parse("sophon-train", "Profiles, plans, and trains against a running sophon-server under an offload policy.")
 
 	logger := log.New(os.Stderr, "sophon-train: ", log.LstdFlags)
-	validateFlags(logger,
+	cliutil.ValidateInts(logger,
 		map[string]bool{"workers": true, "batch": true, "epochs": true, "attempts": true},
 		map[string]bool{"prefetch": true, "max-inflight": true, "fetch-batch": true, "compute-cores": true},
 		map[string]int{
@@ -100,8 +101,13 @@ func main() {
 		RequestTimeout: *reqTimeout,
 		MaxInFlight:    *maxInFlight,
 	}
+	// Single-addr mode gets the same retry wrapper as the sharded fan-out:
+	// without it, an admission-control rejection (server shedding load)
+	// surfaces to the trainer instead of being retried after the hint.
 	dial := func() (trainsim.StorageClient, error) {
-		return storage.DialWithOptions(*addr, opts)
+		return storage.NewReconnecting(func() (*storage.Client, error) {
+			return storage.DialWithOptions(*addr, opts)
+		}, *attempts, *backoff, nil)
 	}
 	nShards := 1
 	if *shardAddrs != "" {
@@ -304,24 +310,6 @@ func dialSharded(addrs []string, opts storage.ClientOptions, attempts int, backo
 		shards[i] = rc
 	}
 	return cluster.NewShardedClient(m, shards, degraded)
-}
-
-// validateFlags rejects flag values that would otherwise misbehave
-// silently. Flags where 0 means "use the default" are only rejected when
-// the user set them explicitly.
-func validateFlags(logger *log.Logger, positive map[string]bool, zeroMeansDefault map[string]bool, values map[string]int) {
-	explicit := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	for name, v := range values {
-		switch {
-		case positive[name] && v <= 0:
-			logger.Fatalf("-%s must be positive, got %d", name, v)
-		case zeroMeansDefault[name] && v < 0:
-			logger.Fatalf("-%s must be non-negative, got %d", name, v)
-		case zeroMeansDefault[name] && v == 0 && explicit[name]:
-			logger.Fatalf("-%s must be positive when set explicitly (omit it for the default)", name)
-		}
-	}
 }
 
 func printEpoch(e int, r trainsim.EpochReport) {

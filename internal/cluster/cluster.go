@@ -36,6 +36,11 @@ type Config struct {
 	// MaxInFlight bounds concurrently handled requests per connection on
 	// each server (0 → storage default).
 	MaxInFlight int
+	// Admission, when non-nil, gates every shard's fetch handlers through
+	// one shared in-flight byte budget with per-tenant weighted queues —
+	// global admission control across the tier, on top of the per-connection
+	// MaxInFlight semaphore. Nil disables admission (no gate at all).
+	Admission *storage.AdmissionController
 	// Clock drives the link shapers and chaos pauses; nil means real time.
 	Clock simclock.Clock
 	// Logger receives per-server connection errors; nil silences them.
@@ -90,6 +95,7 @@ func Launch(cfg Config) (*Cluster, error) {
 			Cores:       cfg.CoresPerShard,
 			Slowdown:    cfg.Slowdown,
 			MaxInFlight: cfg.MaxInFlight,
+			Admission:   cfg.Admission,
 			Logger:      cfg.Logger,
 		})
 		if err != nil {

@@ -361,3 +361,73 @@ func TestLaunchValidation(t *testing.T) {
 		t.Error("accepted more shards than samples")
 	}
 }
+
+// TestLaunchSharedAdmission threads one admission controller through every
+// shard: normal traffic is admitted and counted once per fetch, and with the
+// budget pinned full from outside, fetches to ANY shard shed with the typed
+// busy error — the gate is global, not per-shard.
+func TestLaunchSharedAdmission(t *testing.T) {
+	const n = 60
+	store := testStore(t, n)
+	adm, err := storage.NewAdmissionController(storage.AdmissionConfig{
+		MaxInFlightBytes:  store.TotalBytes(),
+		MaxQueuePerTenant: 1,
+		RetryAfter:        20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cluster.Launch(cluster.Config{
+		Shards:        3,
+		Store:         store,
+		Pipeline:      testPipe(),
+		CoresPerShard: 1,
+		Admission:     adm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	for s := 0; s < c.Shards(); s++ {
+		if c.Server(s).Admission() != adm {
+			t.Fatalf("shard %d does not share the controller", s)
+		}
+	}
+
+	sc := shardedClient(t, c, false)
+	samples := make([]uint32, n)
+	for i := range samples {
+		samples[i] = uint32(i)
+	}
+	if _, err := sc.FetchBatch(context.Background(), samples, make([]int, n), 1); err != nil {
+		t.Fatal(err)
+	}
+	// One batch Acquire per shard the fan-out touched.
+	if got := adm.Stats().Admitted; got != 3 {
+		t.Fatalf("Admitted = %d, want 3 (one per shard)", got)
+	}
+
+	// Pin the budget: the next fetch queues (bound 1) or sheds, on whichever
+	// shard it lands. Retries are budgeted so the typed error surfaces.
+	release, err := adm.Acquire(99, store.TotalBytes(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := sc.Fetch(context.Background(), 0, 0, 1)
+		done <- err
+	}()
+	// The fetch is parked in the admission queue, not failed.
+	deadline := time.Now().Add(2 * time.Second)
+	for adm.Stats().QueueDepth == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("fetch never reached the admission queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	release()
+	if err := <-done; err != nil {
+		t.Fatalf("queued fetch after release: %v", err)
+	}
+}

@@ -1,0 +1,127 @@
+package loadgen
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Hist is an HDR-style latency histogram: exact below 64 units, then 64
+// logarithmically-spaced sub-buckets per power of two, giving a worst-case
+// relative quantile error of about 1.6% across the full uint64 range with a
+// few KB of counters. Values are recorded in nanoseconds; quantiles come
+// back as time.Duration.
+//
+// The zero value is not ready to use; call NewHist.
+type Hist struct {
+	counts []uint64
+	total  uint64
+	max    uint64
+	sum    uint64
+}
+
+const (
+	histSubBits = 6 // 64 sub-buckets per power of two
+	histSub     = 1 << histSubBits
+	// Indexes run [0, histSub) for the linear region then one histSub-wide
+	// segment per remaining power of two (57 of them for 64-bit values),
+	// with the top segment's indexes reaching (58*histSub, 59*histSub).
+	histBuckets = (64 - histSubBits + 1) * histSub
+)
+
+// NewHist returns an empty histogram.
+func NewHist() *Hist {
+	return &Hist{counts: make([]uint64, histBuckets)}
+}
+
+// index maps a value to its bucket.
+func index(v uint64) int {
+	if v < histSub {
+		return int(v)
+	}
+	// top = position of the highest set bit above the sub-bucket field.
+	top := bits.Len64(v) - histSubBits - 1
+	return top*histSub + int(v>>uint(top))
+}
+
+// valueAt returns a representative (midpoint) value for bucket i — the
+// inverse of index up to sub-bucket resolution. Bucket i >= histSub sits
+// in segment top = i/histSub - 1 (index wrote top*histSub + v>>top with
+// v>>top in [histSub, 2*histSub)), where buckets are 1<<top wide.
+func valueAt(i int) uint64 {
+	if i < histSub {
+		return uint64(i)
+	}
+	top := uint(i/histSub - 1)
+	base := uint64(i%histSub+histSub) << top
+	return base + uint64(1)<<top/2
+}
+
+// Record adds one observation.
+func (h *Hist) Record(d time.Duration) {
+	v := uint64(d)
+	if d < 0 {
+		v = 0
+	}
+	h.counts[index(v)]++
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count reports the number of recorded observations.
+func (h *Hist) Count() uint64 { return h.total }
+
+// Max reports the largest recorded value exactly.
+func (h *Hist) Max() time.Duration { return time.Duration(h.max) }
+
+// Mean reports the arithmetic mean of recorded values.
+func (h *Hist) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.total)
+}
+
+// Quantile returns the value at quantile q in [0, 1]. Quantile(1) returns
+// the exact maximum; an empty histogram returns 0.
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return time.Duration(h.max)
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := uint64(q * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum > rank {
+			v := valueAt(i)
+			if v > h.max {
+				v = h.max
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Merge adds every observation from other into h.
+func (h *Hist) Merge(other *Hist) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}

@@ -1,0 +1,104 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestHistEmpty(t *testing.T) {
+	h := NewHist()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistExactBelowLinearRegion(t *testing.T) {
+	h := NewHist()
+	for v := 0; v < histSub; v++ {
+		h.Record(time.Duration(v))
+	}
+	// Every small value lands in its own bucket, so quantiles are exact.
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("q0 = %d, want 0", got)
+	}
+	if got := h.Quantile(0.5); got != histSub/2 {
+		t.Fatalf("q50 = %d, want %d", got, histSub/2)
+	}
+}
+
+func TestHistIndexValueRoundTrip(t *testing.T) {
+	// valueAt(index(v)) must be within the bucket's relative error bound.
+	for _, v := range []uint64{0, 1, 63, 64, 65, 100, 1000, 1 << 20, 1<<40 + 12345, math.MaxUint32} {
+		got := valueAt(index(v))
+		rel := math.Abs(float64(got)-float64(v)) / math.Max(float64(v), 1)
+		if rel > 1.0/histSub {
+			t.Fatalf("valueAt(index(%d)) = %d, rel err %.4f > %.4f", v, got, rel, 1.0/histSub)
+		}
+	}
+}
+
+func TestHistQuantilesVsExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	h := NewHist()
+	const n = 50000
+	vals := make([]float64, n)
+	for i := range vals {
+		// Log-uniform latencies across 1µs..1s — the shape real fetch
+		// latencies take under mixed cache/offload/raw classes.
+		v := math.Exp(rng.Float64()*math.Log(1e9/1e3)) * 1e3
+		vals[i] = v
+		h.Record(time.Duration(v))
+	}
+	sort.Float64s(vals)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := vals[int(q*float64(n))]
+		got := float64(h.Quantile(q))
+		rel := math.Abs(got-exact) / exact
+		if rel > 0.03 {
+			t.Fatalf("q%.3f: hist %.0f vs exact %.0f, rel err %.4f", q, got, exact, rel)
+		}
+	}
+	if h.Count() != n {
+		t.Fatalf("Count = %d, want %d", h.Count(), n)
+	}
+}
+
+func TestHistMaxExact(t *testing.T) {
+	h := NewHist()
+	h.Record(123456789 * time.Nanosecond)
+	h.Record(time.Millisecond)
+	if h.Max() != 123456789 {
+		t.Fatalf("Max = %d, want 123456789", h.Max())
+	}
+	if h.Quantile(1) != 123456789 {
+		t.Fatalf("Quantile(1) = %d, want exact max", h.Quantile(1))
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	a, b := NewHist(), NewHist()
+	for i := 0; i < 100; i++ {
+		a.Record(time.Duration(i) * time.Millisecond)
+		b.Record(time.Duration(i+100) * time.Millisecond)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged Count = %d, want 200", a.Count())
+	}
+	med := a.Quantile(0.5)
+	want := 100 * time.Millisecond
+	if med < want*95/100 || med > want*105/100 {
+		t.Fatalf("merged median = %v, want ~%v", med, want)
+	}
+}
+
+func TestHistNegativeClamped(t *testing.T) {
+	h := NewHist()
+	h.Record(-time.Second)
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("negative duration should clamp to 0")
+	}
+}

@@ -1,0 +1,182 @@
+package monitor
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/gpu"
+	"repro/internal/netsim"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/storage"
+)
+
+// TestHammerScrapeDuringCoordinatorChurn exists for the race detector: it
+// scrapes /stats and /metrics over live HTTP while the watched fleet
+// coordinator churns through admissions, departures, and bandwidth
+// observations, the shared admission controller cycles its byte budget,
+// and the storage counters tick. Under `go test -race ./internal/monitor`
+// any observability path that reads coordinator or admission state without
+// synchronization fails here.
+func TestHammerScrapeDuringCoordinatorChurn(t *testing.T) {
+	coord, err := sched.NewCoordinator(sched.FleetConfig{Cores: 8, Bandwidth: netsim.Mbps(1000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := dataset.GenerateTrace(dataset.OpenImages12G().ScaledTo(300), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := policy.Env{Bandwidth: netsim.Mbps(1000), ComputeCores: 16, StorageSlowdown: 1, GPU: gpu.AlexNet}
+	// One resident tenant keeps the roster non-empty between churn cycles.
+	if _, err := coord.Admit(sched.Tenant{Name: "resident", Trace: tr, Env: env, Dataset: 3}); err != nil {
+		t.Fatal(err)
+	}
+	adm, err := storage.NewAdmissionController(storage.AdmissionConfig{
+		MaxInFlightBytes:  1 << 20,
+		MaxQueuePerTenant: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counters := []*storage.Counters{{}, {}}
+	m := NewMulti(nil, counters...)
+	m.WatchFleet(coord).WatchAdmission(adm)
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	const churnCycles = 30
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Coordinator churn: admit a transient tenant, nudge the observed
+	// bandwidth (every flip past the drift threshold replans the fleet),
+	// then depart — each step publishing new grants mid-scrape.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < churnCycles; i++ {
+			if _, err := coord.Admit(sched.Tenant{Name: "churn", Trace: tr, Env: env, Dataset: 3}); err != nil {
+				t.Errorf("admit: %v", err)
+				return
+			}
+			measured := netsim.Mbps(600)
+			if i%2 == 0 {
+				measured = netsim.Mbps(1000)
+			}
+			if _, err := coord.ObserveBandwidth(measured); err != nil {
+				t.Errorf("observe: %v", err)
+				return
+			}
+			if err := coord.Depart("churn"); err != nil {
+				t.Errorf("depart: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Admission churn: cycle the byte budget so in-flight bytes, queue
+	// depth, and the admitted/shed counters move under the scrapers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			release, err := adm.Acquire(i%3, 512<<10, nil)
+			if err != nil {
+				continue
+			}
+			release()
+		}
+	}()
+
+	// Counter churn: the per-shard atomics the aggregate sums over.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c := counters[i%len(counters)]
+			c.SamplesServed.Add(1)
+			c.BytesSent.Add(4096)
+			c.InFlight.Add(1)
+			c.InFlight.Add(-1)
+			c.ShedLoad.Add(1)
+		}
+	}()
+
+	// Scrapers: alternate /stats and /metrics over real HTTP until the
+	// churn finishes. Every /stats body must stay parseable JSON.
+	scrape := func(path string) ([]byte, error) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		return io.ReadAll(resp.Body)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			path := "/stats"
+			if g%2 == 1 {
+				path = "/metrics"
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				body, err := scrape(path)
+				if err != nil {
+					t.Errorf("scrape %s: %v", path, err)
+					return
+				}
+				if path == "/stats" {
+					var snap statsSnapshot
+					if err := json.Unmarshal(body, &snap); err != nil {
+						t.Errorf("unmarshal /stats: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// The dust has settled: one final scrape must reflect the resident
+	// tenant and the admission counters the churn left behind.
+	body, err := scrape("/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap statsSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Fleet == nil || len(snap.Fleet.Tenants) != 1 {
+		t.Fatalf("final fleet snapshot = %+v, want 1 resident tenant", snap.Fleet)
+	}
+	if snap.Admission == nil || snap.Admission.Admitted == 0 {
+		t.Fatalf("final admission snapshot = %+v, want admitted > 0", snap.Admission)
+	}
+	if snap.ShedLoad == 0 || snap.SamplesServed == 0 {
+		t.Fatalf("final counters: shed=%d served=%d, want both > 0", snap.ShedLoad, snap.SamplesServed)
+	}
+}

@@ -45,6 +45,13 @@ type SharedCacheView interface {
 	Snapshot() cache.SharedSnapshot
 }
 
+// AdmissionView is the admission controller's observability surface: the
+// live byte budget, queue depth, and admitted/queued/shed counters. It is
+// satisfied by *storage.AdmissionController.
+type AdmissionView interface {
+	Stats() storage.AdmissionStats
+}
+
 // Server wires a metrics registry and storage counters into an HTTP mux. It
 // can watch several storage servers at once (one per shard of a sharded
 // deployment): /stats reports both the aggregate and a per-server
@@ -58,8 +65,9 @@ type Server struct {
 	start    time.Time
 	plane    ControlPlane
 
-	fleet  FleetPlane
-	shared SharedCacheView
+	fleet     FleetPlane
+	shared    SharedCacheView
+	admission AdmissionView
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -112,6 +120,14 @@ func (s *Server) WatchSharedCache(c SharedCacheView) *Server {
 	return s
 }
 
+// WatchAdmission attaches the shared admission controller so /stats and
+// /metrics report the in-flight byte budget, queue depth, and shed-load
+// counters; call before serving.
+func (s *Server) WatchAdmission(a AdmissionView) *Server {
+	s.admission = a
+	return s
+}
+
 // statsSnapshot is the JSON shape of /stats. The top-level fields aggregate
 // across every watched server; PerServer breaks them out per shard.
 type statsSnapshot struct {
@@ -125,15 +141,19 @@ type statsSnapshot struct {
 	// PlanVersion is the highest plan version any watched server observed on
 	// the wire; PlanRegressions sums older-than-mark stamps (mixed-version
 	// traffic during a swap).
-	PlanVersion     uint32                `json:"plan_version"`
-	PlanRegressions uint64                `json:"plan_regressions"`
-	ControlPlane    *controlPlaneSnapshot `json:"control_plane,omitempty"`
-	Fleet           *sched.FleetStatus    `json:"fleet,omitempty"`
-	SharedCache     *cache.SharedSnapshot `json:"shared_cache,omitempty"`
-	PerServer       []serverSnapshot      `json:"per_server,omitempty"`
-	Counters        map[string]int64      `json:"counters,omitempty"`
-	Gauges          map[string]int64      `json:"gauges,omitempty"`
-	Histograms      map[string]hStats     `json:"histograms,omitempty"`
+	PlanVersion     uint32 `json:"plan_version"`
+	PlanRegressions uint64 `json:"plan_regressions"`
+	// ShedLoad sums requests every watched server rejected with a
+	// retry-after because admission was saturated.
+	ShedLoad     uint64                  `json:"shed_load"`
+	Admission    *storage.AdmissionStats `json:"admission,omitempty"`
+	ControlPlane *controlPlaneSnapshot   `json:"control_plane,omitempty"`
+	Fleet        *sched.FleetStatus      `json:"fleet,omitempty"`
+	SharedCache  *cache.SharedSnapshot   `json:"shared_cache,omitempty"`
+	PerServer    []serverSnapshot        `json:"per_server,omitempty"`
+	Counters     map[string]int64        `json:"counters,omitempty"`
+	Gauges       map[string]int64        `json:"gauges,omitempty"`
+	Histograms   map[string]hStats       `json:"histograms,omitempty"`
 }
 
 // controlPlaneSnapshot is the adaptive controller's slice of /stats.
@@ -158,6 +178,7 @@ type serverSnapshot struct {
 	OpenConnections  int64  `json:"open_connections"`
 	PlanVersion      uint32 `json:"plan_version"`
 	PlanRegressions  uint64 `json:"plan_regressions"`
+	ShedLoad         uint64 `json:"shed_load"`
 }
 
 type hStats struct {
@@ -180,6 +201,7 @@ func (s *Server) snapshot() statsSnapshot {
 			OpenConnections:  c.Connections.Load(),
 			PlanVersion:      c.PlanVersion.Load(),
 			PlanRegressions:  c.PlanRegressions.Load(),
+			ShedLoad:         c.ShedLoad.Load(),
 		}
 		out.SamplesServed += one.SamplesServed
 		out.OpsExecuted += one.OpsExecuted
@@ -193,6 +215,7 @@ func (s *Server) snapshot() statsSnapshot {
 			out.PlanVersion = one.PlanVersion
 		}
 		out.PlanRegressions += one.PlanRegressions
+		out.ShedLoad += one.ShedLoad
 		if len(s.sources) > 1 {
 			out.PerServer = append(out.PerServer, one)
 		}
@@ -216,6 +239,10 @@ func (s *Server) snapshot() statsSnapshot {
 	if s.shared != nil {
 		sc := s.shared.Snapshot()
 		out.SharedCache = &sc
+	}
+	if s.admission != nil {
+		st := s.admission.Stats()
+		out.Admission = &st
 	}
 	if s.registry != nil {
 		snap := s.registry.Snapshot()
@@ -256,11 +283,20 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintf(w, "sophon_open_connections %d\n", snap.OpenConnections)
 		fmt.Fprintf(w, "sophon_plan_version %d\n", snap.PlanVersion)
 		fmt.Fprintf(w, "sophon_plan_regressions %d\n", snap.PlanRegressions)
+		fmt.Fprintf(w, "sophon_shed_load_total %d\n", snap.ShedLoad)
 		for _, ps := range snap.PerServer {
 			fmt.Fprintf(w, "sophon_server_samples_served{server=\"%d\"} %d\n", ps.Server, ps.SamplesServed)
 			fmt.Fprintf(w, "sophon_server_in_flight_requests{server=\"%d\"} %d\n", ps.Server, ps.InFlightRequests)
 			fmt.Fprintf(w, "sophon_server_open_connections{server=\"%d\"} %d\n", ps.Server, ps.OpenConnections)
 			fmt.Fprintf(w, "sophon_server_plan_version{server=\"%d\"} %d\n", ps.Server, ps.PlanVersion)
+		}
+		if ad := snap.Admission; ad != nil {
+			fmt.Fprintf(w, "sophon_admission_in_flight_bytes %d\n", ad.InFlightBytes)
+			fmt.Fprintf(w, "sophon_admission_max_in_flight_bytes %d\n", ad.MaxInFlightBytes)
+			fmt.Fprintf(w, "sophon_admission_queue_depth %d\n", ad.QueueDepth)
+			fmt.Fprintf(w, "sophon_admission_admitted_total %d\n", ad.Admitted)
+			fmt.Fprintf(w, "sophon_admission_queued_total %d\n", ad.Queued)
+			fmt.Fprintf(w, "sophon_admission_shed_total %d\n", ad.Shed)
 		}
 		if cp := snap.ControlPlane; cp != nil {
 			fmt.Fprintf(w, "sophon_control_plan_version %d\n", cp.PlanVersion)
@@ -275,6 +311,7 @@ func (s *Server) Handler() http.Handler {
 			fmt.Fprintf(w, "sophon_fleet_tenants %d\n", len(fl.Tenants))
 			fmt.Fprintf(w, "sophon_fleet_cores_used %d\n", fl.CoresUsed)
 			fmt.Fprintf(w, "sophon_fleet_cores_total %d\n", fl.Cores)
+			fmt.Fprintf(w, "sophon_fleet_rejections_total %d\n", fl.Rejections)
 			for _, t := range fl.Tenants {
 				fmt.Fprintf(w, "sophon_tenant_cores{tenant=\"%s\"} %d\n", t.Name, t.Cores)
 				fmt.Fprintf(w, "sophon_tenant_bandwidth_mbps{tenant=\"%s\"} %g\n", t.Name, t.BandwidthMBps)

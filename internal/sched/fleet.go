@@ -105,11 +105,14 @@ type TenantStatus struct {
 
 // FleetStatus is the coordinator's slice of /stats.
 type FleetStatus struct {
-	Generation uint64         `json:"generation"`
-	Shards     int            `json:"shards"`
-	Cores      int            `json:"cores"`
-	CoresUsed  int            `json:"cores_used"`
-	Bandwidth  float64        `json:"bandwidth"`
+	Generation uint64  `json:"generation"`
+	Shards     int     `json:"shards"`
+	Cores      int     `json:"cores"`
+	CoresUsed  int     `json:"cores_used"`
+	Bandwidth  float64 `json:"bandwidth"`
+	// Rejections counts admissions refused with ErrFleetSaturated (always 0
+	// unless FleetConfig.RejectSaturated is set).
+	Rejections uint64         `json:"rejections"`
 	Tenants    []TenantStatus `json:"tenants"`
 	History    []FleetEvent   `json:"history"`
 }
@@ -117,6 +120,12 @@ type FleetStatus struct {
 // DefaultFleetDrift is the relative bandwidth change that triggers a fleet
 // replan when FleetConfig.DriftThreshold is zero.
 const DefaultFleetDrift = 0.2
+
+// ErrFleetSaturated is the typed rejection RejectSaturated admissions
+// return: every shared core is granted, the candidate would be admitted at
+// the transfer-only floor (zero cores), and offloading would actually help
+// it. Callers match it with errors.Is and retry after the fleet drains.
+var ErrFleetSaturated = errors.New("sched: fleet saturated")
 
 // FleetConfig configures a coordinator.
 type FleetConfig struct {
@@ -135,6 +144,13 @@ type FleetConfig struct {
 	// DriftThreshold is the relative bandwidth deviation that triggers a
 	// replan via ObserveBandwidth (0 → DefaultFleetDrift).
 	DriftThreshold float64
+	// RejectSaturated makes Admit refuse — with ErrFleetSaturated — a
+	// tenant that would be granted zero cores while every shared core is
+	// taken AND a core would actually improve its epoch time. Off by
+	// default: the historical behavior admits every tenant, falling back to
+	// a transfer-only plan, which is right for closed fleets (benchmarks,
+	// replays) but queues unbounded work on an open serving tier.
+	RejectSaturated bool
 }
 
 // tenantState is one admitted tenant plus its live plan feed.
@@ -153,6 +169,7 @@ type Coordinator struct {
 	clock      simclock.Clock
 	maxHistory int
 	drift      float64
+	rejectSat  bool
 
 	mu         sync.Mutex
 	bandwidth  float64 // current per-shard capacity estimate
@@ -160,6 +177,7 @@ type Coordinator struct {
 	tenants    map[string]*tenantState
 	order      []string // admission order, the deterministic planning order
 	history    []FleetEvent
+	rejections uint64
 }
 
 // NewCoordinator builds an empty fleet.
@@ -200,6 +218,7 @@ func NewCoordinator(cfg FleetConfig) (*Coordinator, error) {
 		clock:      clock,
 		maxHistory: maxHistory,
 		drift:      drift,
+		rejectSat:  cfg.RejectSaturated,
 		bandwidth:  cfg.Bandwidth,
 		tenants:    make(map[string]*tenantState),
 	}, nil
@@ -228,6 +247,17 @@ func (c *Coordinator) Admit(t Tenant) (policy.PlanProvider, error) {
 	if err := env.Validate(); err != nil {
 		return nil, fmt.Errorf("sched: tenant %q: %w", t.Name, err)
 	}
+	if c.rejectSat && c.cores > 0 {
+		starved, err := c.wouldStarveLocked(t)
+		if err != nil {
+			return nil, err
+		}
+		if starved {
+			c.rejections++
+			return nil, fmt.Errorf("sched: tenant %q: %w (%d/%d cores granted, transfer-only floor refused)",
+				t.Name, ErrFleetSaturated, c.cores, c.cores)
+		}
+	}
 	st := &tenantState{Tenant: t}
 	c.tenants[t.Name] = st
 	c.order = append(c.order, t.Name)
@@ -238,6 +268,63 @@ func (c *Coordinator) Admit(t Tenant) (policy.PlanProvider, error) {
 		return nil, err
 	}
 	return st.feed, nil
+}
+
+// wouldStarveLocked dry-runs the water-filling allocator with candidate t
+// included — no coordinator state is touched — and reports whether t would
+// land at zero cores with the budget exhausted while a core would actually
+// cut its epoch time. The dry run happens BEFORE Admit mutates anything
+// because replanLocked publishes snapshots to earlier tenants mid-loop and
+// cannot be rolled back. Called with c.mu held.
+func (c *Coordinator) wouldStarveLocked(t Tenant) (bool, error) {
+	totalWeight := t.weight()
+	for _, name := range c.order {
+		totalWeight += c.tenants[name].weight()
+	}
+	jobs := make([]Job, 0, len(c.order)+1)
+	weights := make([]float64, 0, len(c.order)+1)
+	for _, name := range c.order {
+		st := c.tenants[name]
+		env := st.Env
+		env.Bandwidth = c.bandwidth * st.weight() / totalWeight
+		env.Shards = c.shards
+		jobs = append(jobs, Job{Name: name, Trace: st.Trace, Env: env})
+		weights = append(weights, st.weight())
+	}
+	env := t.Env
+	env.StorageCores = 0
+	env.Bandwidth = c.bandwidth * t.weight() / totalWeight
+	env.Shards = c.shards
+	cand := Job{Name: t.Name, Trace: t.Trace, Env: env}
+	jobs = append(jobs, cand)
+	weights = append(weights, t.weight())
+
+	ev := newEvaluator(c.engine)
+	granted, _, err := waterFill(jobs, weights, c.cores, ev)
+	if err != nil {
+		return false, fmt.Errorf("sched: saturation probe for %q: %w", t.Name, err)
+	}
+	if granted[t.Name] > 0 {
+		return false, nil
+	}
+	used := 0
+	for _, g := range granted {
+		used += g
+	}
+	if used < c.cores {
+		// Cores are idle: the candidate landed at zero because offloading
+		// doesn't help it, not because the fleet is full. Admit it.
+		return false, nil
+	}
+	at0, err := ev.evaluate(cand, 0)
+	if err != nil {
+		return false, err
+	}
+	at1, err := ev.evaluate(cand, 1)
+	if err != nil {
+		return false, err
+	}
+	return at1.time < at0.time, nil
 }
 
 // Depart removes a tenant and replans the remaining fleet, which typically
@@ -325,6 +412,7 @@ func (c *Coordinator) Status() FleetStatus {
 		Shards:     c.shards,
 		Cores:      c.cores,
 		Bandwidth:  c.bandwidth,
+		Rejections: c.rejections,
 		Tenants:    make([]TenantStatus, 0, len(c.order)),
 		History:    append([]FleetEvent(nil), c.history...),
 	}

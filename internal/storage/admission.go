@@ -1,0 +1,230 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wfq"
+)
+
+// ErrServerBusy is the sentinel every retry-after rejection matches via
+// errors.Is: the server is shedding load and the request should be retried
+// after the server's hint, on the same (healthy) session.
+var ErrServerBusy = errors.New("storage: server shedding load")
+
+// RetryAfterError is the typed client-side form of a wire.RetryAfter
+// rejection. It matches ErrServerBusy with errors.Is.
+type RetryAfterError struct {
+	// Delay is the server's minimum backoff hint.
+	Delay time.Duration
+	// Queued is the server-side admission-queue depth at rejection time.
+	Queued int
+}
+
+func (e *RetryAfterError) Error() string {
+	return fmt.Sprintf("storage: server shedding load (retry after %v, %d queued)", e.Delay, e.Queued)
+}
+
+// Is reports that a RetryAfterError is an ErrServerBusy.
+func (e *RetryAfterError) Is(target error) bool { return target == ErrServerBusy }
+
+// Admission defaults.
+const (
+	// DefaultAdmissionQueue bounds each tenant's admission queue when
+	// AdmissionConfig.MaxQueuePerTenant is zero.
+	DefaultAdmissionQueue = 256
+	// DefaultRetryAfterHint is the backoff hint sent with rejections when
+	// AdmissionConfig.RetryAfter is zero.
+	DefaultRetryAfterHint = 50 * time.Millisecond
+)
+
+// AdmissionConfig configures an AdmissionController.
+type AdmissionConfig struct {
+	// MaxInFlightBytes is the global in-flight byte budget across every
+	// connection (and every server sharing the controller). Required > 0.
+	MaxInFlightBytes int64
+	// MaxQueuePerTenant bounds each tenant's admission queue; requests
+	// beyond the bound are rejected with a retry-after instead of queueing
+	// (0 → DefaultAdmissionQueue).
+	MaxQueuePerTenant int
+	// RetryAfter is the backoff hint carried by rejections
+	// (0 → DefaultRetryAfterHint).
+	RetryAfter time.Duration
+	// Weight maps a tenant (wire JobID) to its fair-share weight in the
+	// admission queue; nil or non-positive results mean weight 1.
+	Weight func(tenant uint64) float64
+}
+
+// AdmissionStats is a point-in-time controller snapshot for /stats.
+type AdmissionStats struct {
+	MaxInFlightBytes int64  `json:"max_in_flight_bytes"`
+	InFlightBytes    int64  `json:"in_flight_bytes"`
+	QueueDepth       int    `json:"queue_depth"`
+	Admitted         uint64 `json:"admitted"`
+	Queued           uint64 `json:"queued"`
+	Shed             uint64 `json:"shed"`
+	RetryAfterMillis int64  `json:"retry_after_ms"`
+}
+
+// AdmissionController is the storage tier's global admission gate: beyond
+// the per-connection MaxInFlight semaphore, it bounds the total bytes in
+// flight across ALL connections (and across every server sharing the
+// controller — cluster.Launch threads one controller through all shards),
+// queues excess requests per tenant in weighted fair order, and sheds load
+// with retry-after rejections once a tenant's queue is full. Shedding keeps
+// tail latency bounded under open-loop overload: the alternative —
+// unbounded queueing — takes p99 to the queue length.
+type AdmissionController struct {
+	maxBytes   int64
+	maxQueue   int
+	retryAfter time.Duration
+	weight     func(uint64) float64
+
+	mu       sync.Mutex
+	inFlight int64
+	queue    *wfq.Queue // Item.Value = chan struct{} (closed on grant)
+
+	admitted atomic.Uint64
+	queuedN  atomic.Uint64
+	shed     atomic.Uint64
+}
+
+// NewAdmissionController validates cfg and builds a controller.
+func NewAdmissionController(cfg AdmissionConfig) (*AdmissionController, error) {
+	if cfg.MaxInFlightBytes <= 0 {
+		return nil, errors.New("storage: admission needs MaxInFlightBytes > 0")
+	}
+	if cfg.MaxQueuePerTenant < 0 {
+		return nil, errors.New("storage: negative admission queue bound")
+	}
+	if cfg.RetryAfter < 0 {
+		return nil, errors.New("storage: negative retry-after hint")
+	}
+	c := &AdmissionController{
+		maxBytes:   cfg.MaxInFlightBytes,
+		maxQueue:   cfg.MaxQueuePerTenant,
+		retryAfter: cfg.RetryAfter,
+		weight:     cfg.Weight,
+		queue:      wfq.New(),
+	}
+	if c.maxQueue == 0 {
+		c.maxQueue = DefaultAdmissionQueue
+	}
+	if c.retryAfter == 0 {
+		c.retryAfter = DefaultRetryAfterHint
+	}
+	return c, nil
+}
+
+// RetryAfterHint returns the backoff hint rejections carry.
+func (c *AdmissionController) RetryAfterHint() time.Duration { return c.retryAfter }
+
+// Acquire admits bytes of work for tenant, blocking in the tenant's
+// weighted queue while the global budget is exhausted. It returns a release
+// function the caller MUST run when the work completes. If the tenant's
+// queue is full the request is shed immediately with a *RetryAfterError
+// (matching ErrServerBusy); if cancel closes while queued, Acquire returns
+// ErrClientClosed.
+//
+// A request larger than the whole budget is still admitted once the
+// controller is otherwise idle — oversized work degrades to serial
+// execution instead of deadlocking.
+func (c *AdmissionController) Acquire(tenant uint64, bytes int64, cancel <-chan struct{}) (func(), error) {
+	if bytes < 1 {
+		bytes = 1
+	}
+	c.mu.Lock()
+	if c.fitsLocked(bytes) && c.queue.Len() == 0 {
+		c.inFlight += bytes
+		c.mu.Unlock()
+		c.admitted.Add(1)
+		return c.releaseFunc(bytes), nil
+	}
+	if c.queue.TenantLen(tenant) >= c.maxQueue {
+		depth := c.queue.Len()
+		c.mu.Unlock()
+		c.shed.Add(1)
+		return nil, &RetryAfterError{Delay: c.retryAfter, Queued: depth}
+	}
+	w := 1.0
+	if c.weight != nil {
+		if got := c.weight(tenant); got > 0 {
+			w = got
+		}
+	}
+	grant := make(chan struct{})
+	item := c.queue.Push(tenant, w, float64(bytes), grant)
+	c.mu.Unlock()
+	c.queuedN.Add(1)
+
+	select {
+	case <-grant:
+		c.admitted.Add(1)
+		return c.releaseFunc(bytes), nil
+	case <-cancel:
+		c.mu.Lock()
+		removed := c.queue.Remove(item)
+		c.mu.Unlock()
+		if !removed {
+			// The grant raced the cancellation: the budget was already
+			// charged, so give it straight back.
+			<-grant
+			c.releaseFunc(bytes)()
+		}
+		return nil, ErrClientClosed
+	}
+}
+
+// fitsLocked reports whether bytes fit the budget right now. An oversized
+// request fits only a fully idle controller.
+func (c *AdmissionController) fitsLocked(bytes int64) bool {
+	if c.inFlight == 0 {
+		return true
+	}
+	return c.inFlight+bytes <= c.maxBytes
+}
+
+// releaseFunc returns the (idempotent-unsafe, call-once) release closure
+// for an admitted request.
+func (c *AdmissionController) releaseFunc(bytes int64) func() {
+	return func() {
+		c.mu.Lock()
+		c.inFlight -= bytes
+		// Wake queued waiters in weighted-fair order while their bytes fit;
+		// the budget is charged here, before the waiter resumes, so a
+		// snapshot never undercounts in-flight bytes.
+		for {
+			it := c.queue.Peek()
+			if it == nil {
+				break
+			}
+			if !c.fitsLocked(int64(it.Cost)) {
+				break
+			}
+			c.queue.Pop()
+			c.inFlight += int64(it.Cost)
+			close(it.Value.(chan struct{}))
+		}
+		c.mu.Unlock()
+	}
+}
+
+// Stats snapshots the controller's counters.
+func (c *AdmissionController) Stats() AdmissionStats {
+	c.mu.Lock()
+	inFlight := c.inFlight
+	depth := c.queue.Len()
+	c.mu.Unlock()
+	return AdmissionStats{
+		MaxInFlightBytes: c.maxBytes,
+		InFlightBytes:    inFlight,
+		QueueDepth:       depth,
+		Admitted:         c.admitted.Load(),
+		Queued:           c.queuedN.Load(),
+		Shed:             c.shed.Load(),
+		RetryAfterMillis: c.retryAfter.Milliseconds(),
+	}
+}

@@ -212,6 +212,8 @@ func (c *Client) readLoop() {
 			reqID = m.RequestID
 		case *wire.StatsResp:
 			reqID = m.RequestID
+		case *wire.RetryAfter:
+			reqID = m.RequestID
 		case *wire.ErrorResp:
 			if m.RequestID == 0 {
 				// Connection-level error: the server is tearing us down.
@@ -310,6 +312,15 @@ func (c *Client) roundTrip(ctx context.Context, id uint64, req wire.Message) (wi
 	case msg := <-ch:
 		if er, ok := msg.(*wire.ErrorResp); ok {
 			return nil, fmt.Errorf("storage: server error %d: %s", er.Code, er.Message)
+		}
+		if ra, ok := msg.(*wire.RetryAfter); ok {
+			// Admission-control shed: the request was rejected but the
+			// session is healthy. Surface the typed error so a retry layer
+			// can back off by the server's hint without reconnecting.
+			return nil, &RetryAfterError{
+				Delay:  time.Duration(ra.Millis) * time.Millisecond,
+				Queued: int(ra.Queued),
+			}
 		}
 		return msg, nil
 	case <-ctx.Done():

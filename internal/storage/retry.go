@@ -268,11 +268,23 @@ func (r *ReconnectingClient) invalidate(gen int64) {
 // failures (wire.ErrChecksum) are transport-level by construction: a
 // corrupted frame never decodes into a wrong result, it tears the session
 // down and lands here as a retryable error.
+//
+// Admission-control rejections (ErrServerBusy / RetryAfterError) are the
+// third kind: retryable, but on a HEALTHY session. They never tear the
+// connection down — reconnect stampedes are exactly what a shedding server
+// doesn't need — and the next attempt waits at least the server's
+// retry-after hint (the policy backoff still applies when larger).
 func (r *ReconnectingClient) withRetry(ctx context.Context, op func(*Client) error) error {
 	var lastErr error
+	var hint time.Duration // server's retry-after ask, if any
 	for try := 0; try < r.policy.Attempts; try++ {
 		if try > 0 {
-			if err := sleepCtx(ctx, r.clock, r.policy.Backoff(try, r.jitterDraw())); err != nil {
+			pause := r.policy.Backoff(try, r.jitterDraw())
+			if hint > pause {
+				pause = hint
+			}
+			hint = 0
+			if err := sleepCtx(ctx, r.clock, pause); err != nil {
 				return fmt.Errorf("storage: %w during retry backoff (last error: %v)", err, lastErr)
 			}
 		}
@@ -295,6 +307,11 @@ func (r *ReconnectingClient) withRetry(ctx context.Context, op func(*Client) err
 			return err
 		}
 		lastErr = err
+		var ra *RetryAfterError
+		if errors.As(err, &ra) {
+			hint = ra.Delay
+			continue
+		}
 		r.invalidate(gen)
 	}
 	return fmt.Errorf("storage: giving up after %d attempts: %w", r.policy.Attempts, lastErr)

@@ -30,6 +30,13 @@ type ServerConfig struct {
 	// (0 → DefaultServerMaxInFlight). Requests beyond the bound queue in
 	// the read loop, applying backpressure through the socket.
 	MaxInFlight int
+	// Admission is the global admission controller: an in-flight byte
+	// budget with per-tenant weighted queues and retry-after shedding,
+	// enforced across every connection. Several servers may share one
+	// controller (cluster.Launch does, making the budget tier-wide). Nil
+	// disables admission control — the per-connection MaxInFlight
+	// semaphore is then the only bound.
+	Admission *AdmissionController
 	// Logger receives connection-level errors; nil silences them.
 	Logger *log.Logger
 }
@@ -52,6 +59,10 @@ type Server struct {
 	logger      *log.Logger
 	idleTimeout time.Duration
 	maxInFlight int
+	admission   *AdmissionController
+	// shutdown closes when the server does, unblocking requests parked in
+	// the admission queue.
+	shutdown chan struct{}
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -94,12 +105,18 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		logger:      cfg.Logger,
 		idleTimeout: cfg.IdleTimeout,
 		maxInFlight: maxInFlight,
+		admission:   cfg.Admission,
+		shutdown:    make(chan struct{}),
 		conns:       make(map[net.Conn]struct{}),
 	}, nil
 }
 
 // Counters exposes the server's accounting (read with atomic loads).
 func (s *Server) Counters() *Counters { return s.counters }
+
+// Admission exposes the server's admission controller (nil when admission
+// control is disabled), so monitors can snapshot budget and shed counters.
+func (s *Server) Admission() *AdmissionController { return s.admission }
 
 // ErrServerClosed is returned by Serve after Close.
 var ErrServerClosed = errors.New("storage: server closed")
@@ -156,6 +173,7 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	close(s.shutdown)
 	l := s.listener
 	for conn := range s.conns {
 		conn.Close()
@@ -275,9 +293,9 @@ readLoop:
 		}
 		switch req := msg.(type) {
 		case *wire.Fetch:
-			dispatch(func() wire.Message { return s.handleFetch(jobID, req) })
+			dispatch(func() wire.Message { return s.admitFetch(jobID, req) })
 		case *wire.FetchBatch:
-			dispatch(func() wire.Message { return s.handleFetchBatch(jobID, req) })
+			dispatch(func() wire.Message { return s.admitFetchBatch(jobID, req) })
 		case *wire.StatsReq:
 			dispatch(func() wire.Message {
 				return &wire.StatsResp{
@@ -299,6 +317,60 @@ readLoop:
 	wg.Wait()
 	close(respCh)
 	<-writerDone
+}
+
+// estimateFetchBytes predicts a fetch's in-flight footprint for admission:
+// the raw stored size of the sample (the server buffers at most that much —
+// offloaded artifacts are smaller). Unknown samples charge one byte; the
+// handler will answer FetchNotFound cheaply.
+func (s *Server) estimateFetchBytes(sample uint32) int64 {
+	raw, err := s.store.Get(sample)
+	if err != nil {
+		return 1
+	}
+	return int64(len(raw))
+}
+
+// admit runs fn under the admission controller, charging bytes against the
+// global in-flight budget for the duration of the handler (an approximation
+// of "until the frame is written": the response is handed to the writer
+// goroutine at release time, whose queue is bounded by maxInFlight). A shed
+// request answers with a RetryAfter frame carrying the controller's backoff
+// hint instead of a response.
+func (s *Server) admit(jobID, reqID uint64, bytes int64, fn func() wire.Message) wire.Message {
+	if s.admission == nil {
+		return fn()
+	}
+	release, err := s.admission.Acquire(jobID, bytes, s.shutdown)
+	if err != nil {
+		var ra *RetryAfterError
+		if errors.As(err, &ra) {
+			s.counters.ShedLoad.Add(1)
+			return &wire.RetryAfter{
+				RequestID: reqID,
+				Millis:    uint32(ra.Delay.Milliseconds()),
+				Queued:    uint32(ra.Queued),
+			}
+		}
+		// Shutdown while queued: the connection is going away with us.
+		return &wire.ErrorResp{RequestID: reqID, Code: wire.CodeInternal, Message: "server shutting down"}
+	}
+	defer release()
+	return fn()
+}
+
+func (s *Server) admitFetch(jobID uint64, req *wire.Fetch) wire.Message {
+	return s.admit(jobID, req.RequestID, s.estimateFetchBytes(req.Sample),
+		func() wire.Message { return s.handleFetch(jobID, req) })
+}
+
+func (s *Server) admitFetchBatch(jobID uint64, req *wire.FetchBatch) wire.Message {
+	var bytes int64
+	for _, item := range req.Items {
+		bytes += s.estimateFetchBytes(item.Sample)
+	}
+	return s.admit(jobID, req.RequestID, bytes,
+		func() wire.Message { return s.handleFetchBatch(jobID, req) })
 }
 
 // handleFetchBatch serves a batched fetch: items execute concurrently (the

@@ -120,6 +120,11 @@ type Counters struct {
 	// stale plan.
 	PlanVersion     atomic.Uint32
 	PlanRegressions atomic.Uint64
+	// ShedLoad counts requests this server rejected with a retry-after
+	// because admission control was saturated (the controller itself also
+	// keeps a global count; this one is per-server so a sharded deployment
+	// can see which shard is hot).
+	ShedLoad atomic.Uint64
 }
 
 // ObservePlanVersion folds one request's plan version into the counters:

@@ -128,6 +128,7 @@ func FuzzRead(f *testing.F) {
 	seed(&ErrorResp{RequestID: 6, Code: CodeBadRequest, Message: "no"})
 	seed(&FetchBatch{RequestID: 1, Epoch: 2, Items: []FetchBatchItem{{Sample: 1, Split: 2}}})
 	seed(&FetchBatchResp{RequestID: 1, Items: []FetchBatchRespItem{{Sample: 1, Artifact: []byte{9}}}})
+	seed(&RetryAfter{RequestID: 7, Millis: 50, Queued: 12})
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xFF}, 64))
 
@@ -171,6 +172,7 @@ func FuzzDecode(f *testing.F) {
 	seed(&StatsReq{RequestID: 3})
 	seed(&StatsResp{RequestID: 3, OpsExecuted: 11, ServerCPUNanos: 12})
 	seed(&ErrorResp{Code: CodeInternal, Message: "boom"})
+	seed(&RetryAfter{RequestID: 4, Millis: 25, Queued: 3})
 	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8})
 
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -1,0 +1,50 @@
+package wire
+
+import "encoding/binary"
+
+// TypeRetryAfter is the admission-control rejection frame (types 8 and 9
+// are the batch fetch pair in batch.go).
+const TypeRetryAfter MsgType = 10
+
+// RetryAfter tells the client the server is shedding load: the request was
+// NOT queued and should be retried no sooner than Millis milliseconds from
+// now. It is an application-level rejection — the session stays healthy and
+// other in-flight requests are unaffected — so a retry layer must back off
+// without tearing the connection down.
+//
+// RetryAfter is a protocol extension within version 3: servers only emit it
+// when admission control is enabled, and such deployments are upgraded in
+// lockstep with their clients (a v3 client that somehow receives one while
+// unaware of the type fails the whole request with ErrUnknownType, which is
+// still safe — the artifact is simply refetched on a new session).
+type RetryAfter struct {
+	RequestID uint64
+	// Millis is the server's backoff hint in milliseconds.
+	Millis uint32
+	// Queued is the server-side queue depth at rejection time, an
+	// observability hint for client-side load balancing.
+	Queued uint32
+}
+
+// Type implements Message.
+func (*RetryAfter) Type() MsgType { return TypeRetryAfter }
+
+func (m *RetryAfter) payloadSize() int { return 16 }
+
+func (m *RetryAfter) appendPayload(p []byte) []byte {
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[0:8], m.RequestID)
+	binary.BigEndian.PutUint32(b[8:12], m.Millis)
+	binary.BigEndian.PutUint32(b[12:16], m.Queued)
+	return append(p, b[:]...)
+}
+
+func (m *RetryAfter) decodePayload(p []byte) error {
+	if len(p) != 16 {
+		return ErrTruncated
+	}
+	m.RequestID = binary.BigEndian.Uint64(p[0:8])
+	m.Millis = binary.BigEndian.Uint32(p[8:12])
+	m.Queued = binary.BigEndian.Uint32(p[12:16])
+	return nil
+}

@@ -96,6 +96,8 @@ func (t MsgType) String() string {
 		return "FetchBatch"
 	case TypeFetchBatchResp:
 		return "FetchBatchResp"
+	case TypeRetryAfter:
+		return "RetryAfter"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -491,6 +493,8 @@ func Read(r io.Reader) (Message, error) {
 		m = &FetchBatch{}
 	case TypeFetchBatchResp:
 		m = &FetchBatchResp{}
+	case TypeRetryAfter:
+		m = &RetryAfter{}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, uint8(msgType))
 	}
