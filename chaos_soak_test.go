@@ -119,6 +119,49 @@ func TestChaosSoakReproducible(t *testing.T) {
 	}
 }
 
+// TestChaosSoakLookaheadPartition: the clairvoyant scheduler under chaos. A
+// shard is severed for the middle epoch while a deep per-shard lookahead has
+// speculative fetches in flight against it; the soak must still deliver
+// bit-identical artifacts, account the loss exactly (the severed shard's
+// owned samples, once), and replay digest-identically from the same seed.
+func TestChaosSoakLookaheadPartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak")
+	}
+	cfg := soak.Config{Seed: 0xD15C0, Class: soak.ClassPartition, Samples: 24, Epochs: 3, Lookahead: 8}
+	a := runSoak(t, cfg)
+	if a.WantFailed == 0 {
+		t.Fatal("partition soak expected no failures — the severed shard owned nothing")
+	}
+	// Exactly one epoch absorbs the partition; the others lose nothing.
+	lossy := 0
+	for _, er := range a.Epochs {
+		if er.Failed > 0 {
+			lossy++
+			if er.Failed != a.WantFailed {
+				t.Fatalf("partitioned epoch lost %d samples, want exactly %d", er.Failed, a.WantFailed)
+			}
+		}
+	}
+	if lossy != 1 {
+		t.Fatalf("%d epochs lost samples, want exactly the severed one", lossy)
+	}
+	b := runSoak(t, cfg)
+	if a.Digest != b.Digest {
+		t.Fatalf("same seed, different schedules: %08x vs %08x", a.Digest, b.Digest)
+	}
+	if a.Failed != b.Failed || a.Compared != b.Compared {
+		t.Fatalf("same seed, different outcomes:\n a %+v\n b %+v", a, b)
+	}
+	// The deep-lookahead soak and the reactive soak fetch through the same
+	// fault schedule, so their loss accounting must agree.
+	reactive := runSoak(t, soak.Config{Seed: cfg.Seed, Class: cfg.Class, Samples: cfg.Samples, Epochs: cfg.Epochs})
+	if reactive.Failed != a.Failed {
+		t.Fatalf("lookahead lost %d samples, reactive lost %d — accounting diverged", a.Failed, reactive.Failed)
+	}
+	t.Logf("lookahead=%d digest=%08x compared=%d failed=%d", cfg.Lookahead, a.Digest, a.Compared, a.Failed)
+}
+
 // TestChaosSoakSeeded is the operator-driven entry point: skipped unless
 // -chaos.seed is set, then soaks that exact seed (and keeps going with
 // derived seeds while -chaos.duration has budget).

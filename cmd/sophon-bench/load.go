@@ -173,35 +173,69 @@ func writeLoadJSON(path string, seed uint64, opt loadOptions) error {
 	return nil
 }
 
-// runGate loads two SLO records and prints every regression past the noise
-// threshold; returns false (→ exit 1) when any is found.
-func runGate(prevPath, curPath string, noise float64) bool {
-	read := func(path string) (perfbench.SLORecord, bool) {
-		var rec perfbench.SLORecord
+// runGate diffs two committed perf records and prints every regression past
+// the thresholds; returns false (→ exit 1) when any is found. The record
+// shape is detected from the files: two SLO records gate latency and
+// throughput with CompareSLO, two alloc-suite BENCH records gate allocs/op
+// with CompareBench (allocSlack extra allocations tolerated per kernel).
+// Mixing shapes is a usage error.
+func runGate(prevPath, curPath string, noise float64, allocSlack int64) bool {
+	read := func(path string) ([]byte, bool) {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sophon-bench: %v\n", err)
-			return rec, false
+			return nil, false
 		}
-		if err := json.Unmarshal(data, &rec); err != nil {
-			fmt.Fprintf(os.Stderr, "sophon-bench: %s: %v\n", path, err)
-			return rec, false
-		}
-		if rec.Kind != "SLO" {
-			fmt.Fprintf(os.Stderr, "sophon-bench: %s: kind %q, want SLO\n", path, rec.Kind)
-			return rec, false
-		}
-		return rec, true
+		return data, true
 	}
-	prev, ok := read(prevPath)
+	prevData, ok := read(prevPath)
 	if !ok {
 		return false
 	}
-	cur, ok := read(curPath)
+	curData, ok := read(curPath)
 	if !ok {
 		return false
 	}
-	regs := perfbench.CompareSLO(prev, cur, noise)
+	if perfbench.IsBenchSuite(prevData) != perfbench.IsBenchSuite(curData) {
+		fmt.Fprintf(os.Stderr, "sophon-bench: %s and %s are different record shapes; gate like against like\n", prevPath, curPath)
+		return false
+	}
+
+	var regs []string
+	if perfbench.IsBenchSuite(prevData) {
+		var prev, cur perfbench.BenchRecord
+		if err := json.Unmarshal(prevData, &prev); err != nil {
+			fmt.Fprintf(os.Stderr, "sophon-bench: %s: %v\n", prevPath, err)
+			return false
+		}
+		if err := json.Unmarshal(curData, &cur); err != nil {
+			fmt.Fprintf(os.Stderr, "sophon-bench: %s: %v\n", curPath, err)
+			return false
+		}
+		regs = perfbench.CompareBench(prev, cur, allocSlack)
+	} else {
+		decode := func(path string, data []byte) (perfbench.SLORecord, bool) {
+			var rec perfbench.SLORecord
+			if err := json.Unmarshal(data, &rec); err != nil {
+				fmt.Fprintf(os.Stderr, "sophon-bench: %s: %v\n", path, err)
+				return rec, false
+			}
+			if rec.Kind != "SLO" {
+				fmt.Fprintf(os.Stderr, "sophon-bench: %s: kind %q, want SLO or an alloc-suite BENCH record\n", path, rec.Kind)
+				return rec, false
+			}
+			return rec, true
+		}
+		prev, ok := decode(prevPath, prevData)
+		if !ok {
+			return false
+		}
+		cur, ok := decode(curPath, curData)
+		if !ok {
+			return false
+		}
+		regs = perfbench.CompareSLO(prev, cur, noise)
+	}
 	if len(regs) == 0 {
 		fmt.Fprintf(os.Stderr, "sophon-bench: gate PASS (%s vs %s)\n", curPath, prevPath)
 		return true

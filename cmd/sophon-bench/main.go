@@ -35,10 +35,18 @@
 // ~65% of link capacity and once at 2.6x capacity behind admission control.
 // The output is a versioned SLO record — p50/p90/p99/p999 per fetch class
 // (cache hit / offloaded / raw) plus throughput and shed rates — the
-// contents of BENCH_pr7.json. -gate.prev/-gate.cur diff two such records and
-// exit non-zero on any p99 or throughput regression past -gate.noise (the CI
-// perf-trajectory gate), and -convert folds historical BENCH_pr*.json and
-// SLO records into one TRAJECTORY.json time series.
+// contents of BENCH_pr7.json. -gate.prev/-gate.cur diff two committed perf
+// records and exit non-zero on any regression (the CI perf-trajectory gate):
+// two SLO records gate p99 and throughput past -gate.noise; two alloc-suite
+// BENCH records (from -json) gate allocs/op against the baseline plus
+// -gate.allocslack. -convert folds historical BENCH_pr*.json and SLO records
+// into one TRAJECTORY.json time series.
+//
+// With -prefetch the command instead runs the clairvoyant-vs-reactive loader
+// comparison on an I/O-bound sharded epoch — per-shard lookahead issue queues
+// against the reactive global prefetch window, same shuffled stream — and
+// writes a JSON report with epoch times and per-link idle fractions (the
+// contents of BENCH_pr8.json).
 //
 // With -chaos.seed the command instead runs the deterministic chaos soak: a
 // trainer over a fault-injected sharded storage tier, checked against a
@@ -71,25 +79,10 @@ import (
 	"repro/internal/soak"
 )
 
-type benchReport struct {
-	Kind      string             `json:"kind"` // always "BENCH"
-	GoVersion string             `json:"go_version"`
-	GOOS      string             `json:"goos"`
-	GOARCH    string             `json:"goarch"`
-	Results   []perfbench.Result `json:"results"`
-}
-
 func writeBenchJSON(path string) error {
-	results, err := perfbench.Run()
+	report, err := perfbench.NewBenchRecord()
 	if err != nil {
 		return err
-	}
-	report := benchReport{
-		Kind:      "BENCH",
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		Results:   results,
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -248,6 +241,10 @@ func main() {
 	chaosClass := flag.String("chaos.class", "mixed", "chaos soak fault class: none|delays|corrupt|mixed|partition")
 	chaosDuration := flag.Duration("chaos.duration", 0, "keep soaking with derived seeds until this much time has passed")
 	adaptiveOut := flag.String("adaptive", "", "run the adaptive control-plane scenario (500→250 Mbps reshape) and write the JSON report to this file (skips the evaluation)")
+	prefetchOut := flag.String("prefetch", "", "run the clairvoyant-vs-reactive prefetch comparison and write the JSON report to this file (skips the evaluation)")
+	prefetchSamples := flag.Int("prefetch.samples", 8000, "samples in the prefetch comparison epoch")
+	prefetchShards := flag.Int("prefetch.shards", 8, "storage shards in the prefetch comparison")
+	prefetchDepth := flag.Int("prefetch.depth", 16, "per-shard lookahead depth for the clairvoyant run")
 	fleetOut := flag.String("fleet", "", "run the 100-job fleet scenario (coordinated vs independent planning on a shared tier) and write the JSON report to this file (skips the evaluation)")
 	loadOut := flag.String("load", "", "run the heavy-traffic load harness (steady + overload scenarios) and write the SLO record to this file (skips the evaluation)")
 	loadSessions := flag.Int("load.sessions", 2400, "total concurrent sessions across the load tenants")
@@ -257,18 +254,23 @@ func main() {
 	loadMbps := flag.Float64("load.mbps", 500, "total tier bandwidth (Mbit/s), split evenly across shards; the default matches the paper's 500 Mbps storage link")
 	gatePrev := flag.String("gate.prev", "", "perf-trajectory gate: committed baseline SLO record")
 	gateCur := flag.String("gate.cur", "", "perf-trajectory gate: freshly generated SLO record to check")
-	gateNoise := flag.Float64("gate.noise", 0, "gate noise threshold as a fraction (0 = default 0.10)")
+	gateNoise := flag.Float64("gate.noise", 0, "gate noise threshold as a fraction (0 = default 0.10); SLO records only")
+	gateAllocSlack := flag.Int64("gate.allocslack", 0, "extra allocs/op tolerated per kernel when gating alloc-suite BENCH records")
 	convertIn := flag.String("convert", "", "comma-separated BENCH/SLO record files to fold into one TRAJECTORY file")
 	convertOut := flag.String("convert.o", "TRAJECTORY.json", "output path for -convert")
 	cliutil.Parse("sophon-bench", "Regenerates the paper's evaluation tables, micro-benchmarks, and load/SLO records.")
 
 	logger := log.New(os.Stderr, "sophon-bench: ", 0)
 	cliutil.ValidateInts(logger,
-		map[string]bool{"load.sessions": true, "load.shards": true, "load.cores": true},
+		map[string]bool{
+			"load.sessions": true, "load.shards": true, "load.cores": true,
+			"prefetch.samples": true, "prefetch.shards": true, "prefetch.depth": true,
+		},
 		map[string]bool{"openimages": true, "imagenet": true},
 		map[string]int{
 			"load.sessions": *loadSessions, "load.shards": *loadShards, "load.cores": *loadCores,
 			"openimages": *openImages, "imagenet": *imageNet,
+			"prefetch.samples": *prefetchSamples, "prefetch.shards": *prefetchShards, "prefetch.depth": *prefetchDepth,
 		})
 
 	if *loadOut != "" {
@@ -292,7 +294,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sophon-bench: -gate.prev and -gate.cur must be set together")
 			os.Exit(2)
 		}
-		if !runGate(*gatePrev, *gateCur, *gateNoise) {
+		if !runGate(*gatePrev, *gateCur, *gateNoise, *gateAllocSlack) {
 			os.Exit(1)
 		}
 		return
@@ -313,6 +315,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "sophon-bench: fleet scenario written to %s\n", *fleetOut)
+		return
+	}
+
+	if *prefetchOut != "" {
+		opt := prefetchOptions{samples: *prefetchSamples, shards: *prefetchShards, depth: *prefetchDepth}
+		if err := writePrefetchJSON(*prefetchOut, *seed, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "sophon-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "sophon-bench: prefetch comparison written to %s\n", *prefetchOut)
 		return
 	}
 

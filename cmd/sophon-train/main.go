@@ -65,7 +65,10 @@ func main() {
 	planFile := flag.String("plan-file", "", "load a precomputed plan and skip profiling")
 	dumpTrace := flag.String("dump-trace", "", "write the measured stage-2 trace to this file")
 	fetchBatch := flag.Int("fetch-batch", 0, "samples per storage round trip (0 = one)")
-	prefetch := flag.Int("prefetch", 0, "in-flight fetch requests on the session (0 = 2x workers)")
+	prefetch := flag.Int("prefetch", 0, "in-flight fetch requests on the session in reactive mode (0 = 2x workers; exclusive with -lookahead)")
+	lookahead := flag.Int("lookahead", 0, "clairvoyant prefetch: round trips kept in flight per shard (0 = reactive mode)")
+	lookaheadHorizon := flag.Int("lookahead-horizon", 0, "max stream positions fetched ahead of consumption (0 = 8 x lookahead x fetch-batch x shards; needs -lookahead)")
+	stagingBytes := flag.Int64("staging-bytes", 0, "soft byte budget for staged prefetched artifacts (0 = unbounded; needs -lookahead)")
 	maxInFlight := flag.Int("max-inflight", 0, "max concurrent requests the session admits (0 = default 64)")
 	reqTimeout := flag.Duration("request-timeout", 0, "per-request timeout (0 = default 30s, negative = none)")
 	shardAddrs := flag.String("shard-addrs", "", "comma-separated shard server addresses (overrides -addr; enables the fan-out client)")
@@ -80,12 +83,16 @@ func main() {
 	logger := log.New(os.Stderr, "sophon-train: ", log.LstdFlags)
 	cliutil.ValidateInts(logger,
 		map[string]bool{"workers": true, "batch": true, "epochs": true, "attempts": true},
-		map[string]bool{"prefetch": true, "max-inflight": true, "fetch-batch": true, "compute-cores": true},
+		map[string]bool{"prefetch": true, "max-inflight": true, "fetch-batch": true, "compute-cores": true, "lookahead": true, "lookahead-horizon": true},
 		map[string]int{
 			"workers": *workers, "batch": *batch, "epochs": *epochs, "attempts": *attempts,
 			"prefetch": *prefetch, "max-inflight": *maxInFlight,
 			"fetch-batch": *fetchBatch, "compute-cores": *computeCores,
+			"lookahead": *lookahead, "lookahead-horizon": *lookaheadHorizon,
 		})
+	if *stagingBytes < 0 {
+		logger.Fatalf("-staging-bytes must be >= 0, got %d", *stagingBytes)
+	}
 
 	model, err := gpu.ByName(*modelName)
 	if err != nil {
@@ -126,17 +133,20 @@ func main() {
 	}
 
 	trainer, err := trainsim.New(trainsim.Config{
-		DialClient:     dial,
-		Workers:        *workers,
-		ComputeCores:   *computeCores,
-		Pipeline:       pipeline.Standard(pipeline.StandardOptions{CropSize: *crop, FlipP: -1}),
-		GPU:            model,
-		BatchSize:      *batch,
-		JobID:          *jobID,
-		Shuffle:        true,
-		FetchBatchSize: *fetchBatch,
-		PrefetchWindow: *prefetch,
-		DegradedMode:   *degraded,
+		DialClient:       dial,
+		Workers:          *workers,
+		ComputeCores:     *computeCores,
+		Pipeline:         pipeline.Standard(pipeline.StandardOptions{CropSize: *crop, FlipP: -1}),
+		GPU:              model,
+		BatchSize:        *batch,
+		JobID:            *jobID,
+		Shuffle:          true,
+		FetchBatchSize:   *fetchBatch,
+		PrefetchWindow:   *prefetch,
+		Lookahead:        *lookahead,
+		LookaheadHorizon: *lookaheadHorizon,
+		StagingBytes:     *stagingBytes,
+		DegradedMode:     *degraded,
 	})
 	if err != nil {
 		logger.Fatal(err)

@@ -1,0 +1,89 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Staging is the byte ledger of the prefetch staging area: artifacts a
+// lookahead scheduler has fetched but the trainer has not yet consumed.
+// Staged bytes are deliberately NOT resident in the shared artifact cache —
+// they live in the scheduler's reorder slots under this separate budget, so
+// a deep prefetch window can never evict hot cross-job artifacts from the
+// LRU; total memory is bounded by (shared cache capacity + staging
+// capacity). One Staging may be shared by several trainers of a fleet, in
+// which case the budget bounds their combined staging footprint.
+//
+// The ledger is advisory in the same way the scheduler's gate is: Reserve
+// never blocks or fails (completions must land), Over reports exhaustion so
+// issuers stop admitting new work. Safe for concurrent use.
+type Staging struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	peak     int64
+	reserves int64
+	releases int64
+}
+
+// StagingSnapshot is the monitor-facing view of the ledger.
+type StagingSnapshot struct {
+	UsedBytes int64 `json:"used_bytes"`
+	PeakBytes int64 `json:"peak_bytes"`
+	Capacity  int64 `json:"capacity"`
+	Reserves  int64 `json:"reserves"`
+	Releases  int64 `json:"releases"`
+}
+
+// NewStaging builds a ledger with the given byte capacity.
+func NewStaging(capacity int64) (*Staging, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadCapacity, capacity)
+	}
+	return &Staging{capacity: capacity}, nil
+}
+
+// Reserve charges n staged bytes to the ledger.
+func (s *Staging) Reserve(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.used += n
+	s.reserves++
+	if s.used > s.peak {
+		s.peak = s.used
+	}
+}
+
+// Release returns n staged bytes (consumption or an aborted epoch).
+func (s *Staging) Release(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.used -= n
+	s.releases++
+}
+
+// Over reports whether the budget is exhausted: issuers should stop
+// admitting new prefetches until consumption drains staged bytes.
+func (s *Staging) Over() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used >= s.capacity
+}
+
+// Capacity returns the configured budget.
+func (s *Staging) Capacity() int64 {
+	return s.capacity
+}
+
+// Snapshot copies the ledger state.
+func (s *Staging) Snapshot() StagingSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StagingSnapshot{
+		UsedBytes: s.used,
+		PeakBytes: s.peak,
+		Capacity:  s.capacity,
+		Reserves:  s.reserves,
+		Releases:  s.releases,
+	}
+}

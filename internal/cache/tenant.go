@@ -142,6 +142,67 @@ func (t *TenantFetcher) FetchBatch(ctx context.Context, samples []uint32, splits
 // NumSamples reports the dataset size from the wrapped client.
 func (t *TenantFetcher) NumSamples() int { return t.inner.NumSamples() }
 
+// ShardInfo implements storage.ShardRouter by forwarding to the wrapped
+// client; ok=false when the transport underneath has no shard structure, in
+// which case lookahead falls back to single-link scheduling (through the
+// cache as usual).
+func (t *TenantFetcher) ShardInfo() (int, func(sample uint32) int, bool) {
+	if r, ok := t.inner.(storage.ShardRouter); ok {
+		return r.ShardInfo()
+	}
+	return 1, nil, false
+}
+
+// FetchShard implements storage.ShardRouter with the same deepest-first
+// preference as FetchBatch: shared-cache hits are served from local memory
+// at zero wire bytes, and only the misses go to the shard's link. This is
+// what makes the prefetcher's per-shard issue queues cache-aware — a stream
+// entry another tenant already pulled never occupies the link at all. When
+// the wrapped client has no FetchShard, misses forward through FetchBatch
+// (the single-shard fallback, where routing is a no-op).
+func (t *TenantFetcher) FetchShard(ctx context.Context, shard int, samples []uint32, splits []int, epoch uint64) ([]storage.FetchResult, error) {
+	if len(samples) != len(splits) {
+		return nil, fmt.Errorf("cache: %d samples but %d splits", len(samples), len(splits))
+	}
+	out := make([]storage.FetchResult, len(samples))
+	var missSamples []uint32
+	var missSplits []int
+	var missIdx []int
+	for i := range samples {
+		k := t.key(samples[i], splits[i], epoch)
+		if data, ok := t.shared.Get(t.tenant, k); ok {
+			res, err := hit(samples[i], splits[i], data)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res
+			continue
+		}
+		missSamples = append(missSamples, samples[i])
+		missSplits = append(missSplits, splits[i])
+		missIdx = append(missIdx, i)
+	}
+	if len(missSamples) > 0 {
+		var fetched []storage.FetchResult
+		var err error
+		if r, ok := t.inner.(storage.ShardRouter); ok {
+			fetched, err = r.FetchShard(ctx, shard, missSamples, missSplits, epoch)
+		} else {
+			fetched, err = t.inner.FetchBatch(ctx, missSamples, missSplits, epoch)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for j, res := range fetched {
+			out[missIdx[j]] = res
+			if res.Err == nil {
+				t.retain(t.key(missSamples[j], missSplits[j], epoch), res)
+			}
+		}
+	}
+	return out, nil
+}
+
 // SetPlanVersion implements storage.PlanVersioner when the wrapped client
 // does: cache hits are local and carry no stamp, but every fetch that
 // reaches the wire carries the tenant's current plan version.

@@ -183,6 +183,42 @@ func (c *ShardedClient) FetchBatch(ctx context.Context, samples []uint32, splits
 	return out, nil
 }
 
+// ShardInfo implements storage.ShardRouter: it exposes the placement map so
+// a lookahead scheduler can partition the epoch's access stream per shard
+// with exactly the routing FetchBatch would use.
+func (c *ShardedClient) ShardInfo() (int, func(sample uint32) int, bool) {
+	return c.m.Shards(), c.m.ShardOf, true
+}
+
+// FetchShard implements storage.ShardRouter: one round trip against a single
+// shard's session, bypassing the partitioner. It is the per-shard issue
+// queue of the clairvoyant prefetcher — each shard's link is kept busy by
+// its own stream of FetchShard calls instead of sharing one globally-ordered
+// window. Callers route by the same ShardMap (ShardInfo), so samples are
+// expected to be owned by the shard; a shard transport failure is returned
+// as an ErrShardDown-wrapped error regardless of DegradedMode — degrading is
+// the scheduler's decision, which knows whether other shards can keep
+// streaming.
+func (c *ShardedClient) FetchShard(ctx context.Context, shard int, samples []uint32, splits []int, epoch uint64) ([]storage.FetchResult, error) {
+	if shard < 0 || shard >= len(c.shards) {
+		return nil, fmt.Errorf("cluster: shard %d out of range [0,%d)", shard, len(c.shards))
+	}
+	if len(samples) == 0 {
+		return nil, errors.New("cluster: empty batch")
+	}
+	if len(samples) != len(splits) {
+		return nil, fmt.Errorf("cluster: %d samples but %d splits", len(samples), len(splits))
+	}
+	if len(samples) > wire.MaxBatchItems {
+		return nil, fmt.Errorf("cluster: batch of %d exceeds %d", len(samples), wire.MaxBatchItems)
+	}
+	res, err := c.shards[shard].FetchBatch(ctx, samples, splits, epoch)
+	if err != nil && !isItemError(err) && ctx.Err() == nil {
+		err = downErr(shard, err)
+	}
+	return res, err
+}
+
 // Stats aggregates counters across the reachable shards (summing every
 // field). A down shard is skipped in DegradedMode; otherwise its error is
 // returned alongside the partial aggregate.

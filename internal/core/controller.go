@@ -36,6 +36,7 @@ type Controller struct {
 	env      policy.Env // environment estimate the current plan assumes
 	decision Decision   // latest planning outcome
 	history  []ReplanEvent
+	onReplan []func(*policy.PlanSnapshot)
 }
 
 // ReplanEvent is one control-plane transition.
@@ -177,6 +178,22 @@ func (c *Controller) History() []ReplanEvent {
 	return out
 }
 
+// OnReplan registers a callback invoked synchronously — on the replanning
+// goroutine, after the snapshot is published to the feed — for every
+// subsequent replan. Unlike Subscribe's buffered channel this cannot drop
+// transitions, which is what live consumers of the plan (the trainer's
+// lookahead scheduler rotating cut depths mid-stream) need: by the time the
+// Observe* call that triggered the replan returns, every callback has seen
+// the new snapshot. Callbacks run outside the controller's lock.
+func (c *Controller) OnReplan(fn func(*policy.PlanSnapshot)) {
+	if fn == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onReplan = append(c.onReplan, fn)
+}
+
 // ObserveEpoch folds one epoch's measurements in at the epoch boundary. If
 // drift crossed its hysteresis gate, the controller replans effective the
 // NEXT epoch and publishes the new snapshot; otherwise the current snapshot
@@ -202,9 +219,21 @@ func (c *Controller) ObserveShardChange(epoch uint64, shardsUp, shards int) (*po
 	return c.replan([]profiler.Drift{*d}, epoch)
 }
 
-// replan recomputes the plan against the measured environment and publishes
-// it effective the given epoch.
+// replan recomputes the plan against the measured environment, publishes it
+// effective the given epoch, and then runs the OnReplan callbacks (outside
+// the lock, so callbacks may take their own locks freely).
 func (c *Controller) replan(drifts []profiler.Drift, effective uint64) (*policy.PlanSnapshot, error) {
+	snap, cbs, err := c.replanLocked(drifts, effective)
+	if err != nil {
+		return nil, err
+	}
+	for _, fn := range cbs {
+		fn(snap)
+	}
+	return snap, nil
+}
+
+func (c *Controller) replanLocked(drifts []profiler.Drift, effective uint64) (*policy.PlanSnapshot, []func(*policy.PlanSnapshot), error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
@@ -224,7 +253,7 @@ func (c *Controller) replan(drifts []profiler.Drift, effective uint64) (*policy.
 
 	d, err := c.fw.Decide(c.trace, env)
 	if err != nil {
-		return nil, fmt.Errorf("core: replan: %w", err)
+		return nil, nil, fmt.Errorf("core: replan: %w", err)
 	}
 
 	kinds := make([]string, 0, len(drifts))
@@ -245,7 +274,7 @@ func (c *Controller) replan(drifts []profiler.Drift, effective uint64) (*policy.
 		Reason:  reason,
 	}
 	if err := c.feed.Publish(snap); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	c.env = env
 	c.decision = d
@@ -257,5 +286,7 @@ func (c *Controller) replan(drifts []profiler.Drift, effective uint64) (*policy.
 	if len(c.history) > c.maxHistory {
 		c.history = c.history[len(c.history)-c.maxHistory:]
 	}
-	return snap, nil
+	cbs := make([]func(*policy.PlanSnapshot), len(c.onReplan))
+	copy(cbs, c.onReplan)
+	return snap, cbs, nil
 }

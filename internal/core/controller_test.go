@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/policy"
 	"repro/internal/profiler"
 	"repro/internal/simclock"
 )
@@ -167,5 +168,52 @@ func TestControllerSubscriberSeesReplan(t *testing.T) {
 		}
 	default:
 		t.Fatal("subscriber missed the replan")
+	}
+}
+
+// TestControllerOnReplan: callbacks fire synchronously on every replan —
+// including immediate shard-change replans — with the published snapshot,
+// before the triggering Observe call returns.
+func TestControllerOnReplan(t *testing.T) {
+	tr := openImages(t, 500)
+	env := paperEnv(48)
+	c, err := NewController(ControllerConfig{
+		Trace: tr, Env: env,
+		Drift: profiler.DriftConfig{Alpha: 1, RelThreshold: 0.2, Hysteresis: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []*policy.PlanSnapshot
+	c.OnReplan(func(s *policy.PlanSnapshot) { seen = append(seen, s) })
+	c.OnReplan(nil) // must be ignored
+
+	half := env.Bandwidth / 2
+	c.ObserveEpoch(profiler.EpochSample{Epoch: 1, Bandwidth: env.Bandwidth})
+	c.ObserveEpoch(profiler.EpochSample{Epoch: 2, Bandwidth: half})
+	if len(seen) != 0 {
+		t.Fatalf("callback fired before hysteresis: %d", len(seen))
+	}
+	snap, _, err := c.ObserveEpoch(profiler.EpochSample{Epoch: 3, Bandwidth: half})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 || seen[0] != snap {
+		t.Fatalf("callback saw %d snapshots, want exactly the published one", len(seen))
+	}
+	if seen[0].Version != 2 {
+		t.Fatalf("callback snapshot version %d, want 2", seen[0].Version)
+	}
+	// A shard change replans immediately and must also reach the callback.
+	// (The first observation is the telemetry baseline, not a change.)
+	if _, err := c.ObserveShardChange(4, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := c.ObserveShardChange(4, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || seen[1] != snap2 || snap2.Version != 3 {
+		t.Fatalf("shard-change replan not delivered: %d callbacks, version %d", len(seen), snap2.Version)
 	}
 }

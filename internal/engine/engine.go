@@ -46,7 +46,30 @@ type Config struct {
 	// each), with every sample served by the shard cluster.ShardMap places
 	// it on. 0 or 1 reproduces the single-server setup exactly.
 	Shards int
+
+	// Lookahead switches the loader model from the reactive global window
+	// to clairvoyant per-shard scheduling: the epoch's access stream is
+	// known up front (the shuffle is seeded), so each shard issues its own
+	// positions in stream order, keeping up to Lookahead transfers in
+	// flight on its link regardless of where the global consumption cursor
+	// sits. 0 keeps the reactive window model. Mutually exclusive with a
+	// non-zero PrefetchWindow (ErrLookaheadConfig).
+	Lookahead int
+	// LookaheadHorizon bounds how many stream positions ahead of
+	// consumption any shard may issue (0 = unbounded). Must be ≥ the batch
+	// size when set, so the gating position's batch has always flushed.
+	LookaheadHorizon int
+	// StagingBudgetBytes softly bounds the bytes fetched but not yet
+	// consumed (0 = unbounded). Like the live scheduler's ledger it is
+	// checked at issue time, so overshoot is bounded by in-flight work;
+	// the consumption cursor's own fetch is always admitted.
+	StagingBudgetBytes int64
 }
+
+// ErrLookaheadConfig marks contradictory loader knobs: a clairvoyant
+// lookahead combined with a reactive prefetch window, or lookahead-only
+// knobs (horizon, staging budget) without Lookahead.
+var ErrLookaheadConfig = errors.New("engine: lookahead and reactive window knobs conflict")
 
 // DefaultRequestOverhead approximates the wire package's per-fetch framing
 // (request frame + response header; the v3 request carries a 4-byte
@@ -66,6 +89,15 @@ type Result struct {
 	GPUUtilization   float64
 	SamplesOffloaded int
 	Batches          int
+
+	// PerLinkIdle is each shard link's idle time inside its own active
+	// period: lastTransferEnd − busy. Gaps here are transfers the link
+	// could have run but the loader had not issued yet — the quantity the
+	// clairvoyant scheduler drives to zero.
+	PerLinkIdle []time.Duration
+	// LinkIdleFrac is the mean per-link idle fraction of the epoch:
+	// (Σ PerLinkIdle / K) / EpochTime.
+	LinkIdleFrac float64
 }
 
 // multiServer models a k-server FIFO resource by tracking per-server free
@@ -73,6 +105,7 @@ type Result struct {
 type multiServer struct {
 	free timeHeap
 	busy time.Duration
+	last time.Duration // latest completion scheduled so far
 }
 
 type timeHeap []time.Duration
@@ -106,6 +139,9 @@ func (m *multiServer) schedule(arrival, dur time.Duration) time.Duration {
 	m.free[0] = end
 	heap.Fix(&m.free, 0)
 	m.busy += dur
+	if end > m.last {
+		m.last = end
+	}
 	return end
 }
 
@@ -130,12 +166,29 @@ func Run(cfg Config) (Result, error) {
 	if batch < 1 {
 		return Result{}, fmt.Errorf("engine: batch size %d", batch)
 	}
-	window := cfg.PrefetchWindow
-	if window == 0 {
-		window = 4 * batch
+	if cfg.Lookahead < 0 {
+		return Result{}, fmt.Errorf("engine: lookahead depth %d", cfg.Lookahead)
 	}
-	if window < batch {
-		return Result{}, fmt.Errorf("engine: prefetch window %d < batch %d", window, batch)
+	if cfg.Lookahead > 0 && cfg.PrefetchWindow > 0 {
+		return Result{}, fmt.Errorf("%w: lookahead %d with reactive window %d", ErrLookaheadConfig, cfg.Lookahead, cfg.PrefetchWindow)
+	}
+	if cfg.Lookahead == 0 && (cfg.LookaheadHorizon != 0 || cfg.StagingBudgetBytes != 0) {
+		return Result{}, fmt.Errorf("%w: horizon/staging budget set without lookahead", ErrLookaheadConfig)
+	}
+	if cfg.LookaheadHorizon < 0 || cfg.StagingBudgetBytes < 0 {
+		return Result{}, fmt.Errorf("engine: negative lookahead horizon or staging budget")
+	}
+	if cfg.LookaheadHorizon > 0 && cfg.LookaheadHorizon < batch {
+		return Result{}, fmt.Errorf("engine: lookahead horizon %d < batch %d", cfg.LookaheadHorizon, batch)
+	}
+	window := cfg.PrefetchWindow
+	if cfg.Lookahead == 0 {
+		if window == 0 {
+			window = 4 * batch
+		}
+		if window < batch {
+			return Result{}, fmt.Errorf("engine: prefetch window %d < batch %d", window, batch)
+		}
 	}
 	overhead := cfg.RequestOverheadBytes
 	if overhead == 0 {
@@ -216,14 +269,60 @@ func Run(cfg Config) (Result, error) {
 		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
 	}
 
-	for i := 0; i < n; i++ {
-		var gate time.Duration
-		if i >= window {
-			gate = consumed[i-window]
+	// Clairvoyant issue state: each shard's transfer-end history (the depth
+	// gate), and a prefix-sum byte ledger for the staging budget gate.
+	var shardEnds [][]time.Duration
+	var bytesPrefix []int64
+	budgetLo := 0
+	if cfg.Lookahead > 0 {
+		shardEnds = make([][]time.Duration, shards)
+		if cfg.StagingBudgetBytes > 0 {
+			bytesPrefix = make([]int64, n+1)
+			for i := 0; i < n; i++ {
+				rec := &cfg.Trace.Records[order[i]]
+				split := cfg.Plan.Split(order[i])
+				bytesPrefix[i+1] = bytesPrefix[i] + rec.StageSizes[split] + int64(overhead)
+			}
 		}
+	}
+
+	for i := 0; i < n; i++ {
 		rec := &cfg.Trace.Records[order[i]]
 		split := cfg.Plan.Split(order[i])
 		shard := shardMap.ShardOf(uint32(order[i]))
+
+		var gate time.Duration
+		if cfg.Lookahead > 0 {
+			// Depth gate: this shard keeps at most Lookahead transfers in
+			// flight; issue j waits for delivery of the shard's own j−D.
+			if k := len(shardEnds[shard]); k >= cfg.Lookahead {
+				gate = shardEnds[shard][k-cfg.Lookahead]
+			}
+			// Horizon gate: no shard runs more than H stream positions
+			// ahead of the consumption cursor.
+			if h := cfg.LookaheadHorizon; h > 0 && i >= h {
+				if g := consumed[i-h]; g > gate {
+					gate = g
+				}
+			}
+			// Budget gate: positions [budgetLo, i] must fit in the staging
+			// budget; everything before budgetLo has to be consumed first.
+			// The cursor entry itself is always admitted (budgetLo ≤ i), and
+			// positions still inside the unflushed batch gate at 0 — the
+			// soft-budget overshoot bounded by in-flight work.
+			if bytesPrefix != nil {
+				for budgetLo < i && bytesPrefix[i+1]-bytesPrefix[budgetLo] > cfg.StagingBudgetBytes {
+					budgetLo++
+				}
+				if budgetLo > 0 {
+					if g := consumed[budgetLo-1]; g > gate {
+						gate = g
+					}
+				}
+			}
+		} else if i >= window {
+			gate = consumed[i-window]
+		}
 
 		// Storage-side prefix under the owning shard's core budget.
 		t := gate
@@ -239,6 +338,9 @@ func Run(cfg Config) (Result, error) {
 		traffic += bytes
 		xfer := time.Duration(float64(bytes) / cfg.Env.Bandwidth * float64(time.Second))
 		t = links[shard].schedule(t+cfg.RTT, xfer)
+		if shardEnds != nil {
+			shardEnds[shard] = append(shardEnds[shard], t)
+		}
 
 		// Local suffix on the compute pool.
 		suffix := rec.TotalTime() - rec.PrefixTime(split)
@@ -263,14 +365,19 @@ func Run(cfg Config) (Result, error) {
 		SamplesOffloaded: offloaded,
 		Batches:          batches,
 	}
+	res.PerLinkIdle = make([]time.Duration, shards)
+	var idleSum time.Duration
 	for s := 0; s < shards; s++ {
 		res.LinkBusy += links[s].busy
+		res.PerLinkIdle[s] = links[s].last - links[s].busy
+		idleSum += res.PerLinkIdle[s]
 		if storagePools[s] != nil {
 			res.StorageBusy += storagePools[s].busy
 		}
 	}
 	if res.EpochTime > 0 {
 		res.GPUUtilization = float64(res.GPUBusy) / float64(res.EpochTime) / float64(cfg.Env.GPUs())
+		res.LinkIdleFrac = float64(idleSum) / float64(shards) / float64(res.EpochTime)
 	}
 	return res, nil
 }

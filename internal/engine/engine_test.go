@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -76,7 +77,7 @@ func TestRunDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	b, _ := Run(Config{Trace: tr, Plan: plan, Env: env(4)})
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("same config produced %+v then %+v", a, b)
 	}
 }
@@ -326,7 +327,7 @@ func TestShuffleDeterministicAndConservative(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatal("same shuffle seed produced different results")
 	}
 	if a.TrafficBytes != base.TrafficBytes {

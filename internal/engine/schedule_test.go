@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/netsim"
@@ -110,7 +111,7 @@ func TestRunScheduleAppliesPerEpochPlanAndEnv(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if r.PlanVersion != ver || r.Result != want {
+		if r.PlanVersion != ver || !reflect.DeepEqual(r.Result, want) {
 			t.Fatalf("epoch %d: schedule run %+v, direct run %+v", r.Epoch, r.Result, want)
 		}
 	}

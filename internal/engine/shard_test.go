@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/netsim"
@@ -23,7 +24,7 @@ func TestRunShardedMatchesSingle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r0 != r1 {
+	if !reflect.DeepEqual(r0, r1) {
 		t.Fatalf("Shards=1 result %+v differs from Shards=0 result %+v", r1, r0)
 	}
 }

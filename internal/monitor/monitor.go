@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/policy"
+	"repro/internal/prefetch"
 	"repro/internal/profiler"
 	"repro/internal/sched"
 	"repro/internal/simclock"
@@ -68,6 +69,8 @@ type Server struct {
 	fleet     FleetPlane
 	shared    SharedCacheView
 	admission AdmissionView
+	prefetch  PrefetchView
+	staging   StagingView
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -145,15 +148,17 @@ type statsSnapshot struct {
 	PlanRegressions uint64 `json:"plan_regressions"`
 	// ShedLoad sums requests every watched server rejected with a
 	// retry-after because admission was saturated.
-	ShedLoad     uint64                  `json:"shed_load"`
-	Admission    *storage.AdmissionStats `json:"admission,omitempty"`
-	ControlPlane *controlPlaneSnapshot   `json:"control_plane,omitempty"`
-	Fleet        *sched.FleetStatus      `json:"fleet,omitempty"`
-	SharedCache  *cache.SharedSnapshot   `json:"shared_cache,omitempty"`
-	PerServer    []serverSnapshot        `json:"per_server,omitempty"`
-	Counters     map[string]int64        `json:"counters,omitempty"`
-	Gauges       map[string]int64        `json:"gauges,omitempty"`
-	Histograms   map[string]hStats       `json:"histograms,omitempty"`
+	ShedLoad     uint64                    `json:"shed_load"`
+	Admission    *storage.AdmissionStats   `json:"admission,omitempty"`
+	Prefetch     *prefetch.MetricsSnapshot `json:"prefetch,omitempty"`
+	Staging      *cache.StagingSnapshot    `json:"staging,omitempty"`
+	ControlPlane *controlPlaneSnapshot     `json:"control_plane,omitempty"`
+	Fleet        *sched.FleetStatus        `json:"fleet,omitempty"`
+	SharedCache  *cache.SharedSnapshot     `json:"shared_cache,omitempty"`
+	PerServer    []serverSnapshot          `json:"per_server,omitempty"`
+	Counters     map[string]int64          `json:"counters,omitempty"`
+	Gauges       map[string]int64          `json:"gauges,omitempty"`
+	Histograms   map[string]hStats         `json:"histograms,omitempty"`
 }
 
 // controlPlaneSnapshot is the adaptive controller's slice of /stats.
@@ -244,6 +249,14 @@ func (s *Server) snapshot() statsSnapshot {
 		st := s.admission.Stats()
 		out.Admission = &st
 	}
+	if s.prefetch != nil {
+		pf := s.prefetch.Snapshot()
+		out.Prefetch = &pf
+	}
+	if s.staging != nil {
+		st := s.staging.Snapshot()
+		out.Staging = &st
+	}
 	if s.registry != nil {
 		snap := s.registry.Snapshot()
 		out.Counters = snap.Counters
@@ -298,6 +311,7 @@ func (s *Server) Handler() http.Handler {
 			fmt.Fprintf(w, "sophon_admission_queued_total %d\n", ad.Queued)
 			fmt.Fprintf(w, "sophon_admission_shed_total %d\n", ad.Shed)
 		}
+		writePrefetchMetrics(w, snap.Prefetch, snap.Staging)
 		if cp := snap.ControlPlane; cp != nil {
 			fmt.Fprintf(w, "sophon_control_plan_version %d\n", cp.PlanVersion)
 			fmt.Fprintf(w, "sophon_control_replans_total %d\n", cp.Replans)

@@ -1,0 +1,63 @@
+package monitor
+
+// The clairvoyant prefetch scheduler's observability surface: WatchPrefetch
+// attaches a trainer's prefetch counters, WatchStaging the shared staging
+// ledger, and /stats gains a "prefetch" block while /metrics gains the
+// sophon_prefetch_* gauge family.
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cache"
+	"repro/internal/prefetch"
+)
+
+// PrefetchView is the clairvoyant prefetch scheduler's observability
+// surface. It is satisfied by *prefetch.Metrics.
+type PrefetchView interface {
+	Snapshot() prefetch.MetricsSnapshot
+}
+
+// StagingView is the staging ledger's observability surface. It is
+// satisfied by *cache.Staging.
+type StagingView interface {
+	Snapshot() cache.StagingSnapshot
+}
+
+// WatchPrefetch attaches a trainer's prefetch metrics so /stats and /metrics
+// report the clairvoyant scheduler's issue/delivery/stall counters; call
+// before serving.
+func (s *Server) WatchPrefetch(p PrefetchView) *Server {
+	s.prefetch = p
+	return s
+}
+
+// WatchStaging attaches the staging-byte ledger so /stats and /metrics
+// report the prefetch staging budget's occupancy; call before serving.
+func (s *Server) WatchStaging(v StagingView) *Server {
+	s.staging = v
+	return s
+}
+
+// writePrefetchMetrics emits the sophon_prefetch_* family for /metrics.
+func writePrefetchMetrics(w io.Writer, pf *prefetch.MetricsSnapshot, st *cache.StagingSnapshot) {
+	if pf != nil {
+		fmt.Fprintf(w, "sophon_prefetch_issued_total %d\n", pf.Issued)
+		fmt.Fprintf(w, "sophon_prefetch_completed_total %d\n", pf.Completed)
+		fmt.Fprintf(w, "sophon_prefetch_failed_total %d\n", pf.Failed)
+		fmt.Fprintf(w, "sophon_prefetch_cache_hits_total %d\n", pf.CacheHits)
+		fmt.Fprintf(w, "sophon_prefetch_offloaded_total %d\n", pf.Offloaded)
+		fmt.Fprintf(w, "sophon_prefetch_raw_total %d\n", pf.Raw)
+		fmt.Fprintf(w, "sophon_prefetch_staged_bytes %d\n", pf.StagedBytes)
+		fmt.Fprintf(w, "sophon_prefetch_staged_peak_bytes %d\n", pf.StagedPeakBytes)
+		fmt.Fprintf(w, "sophon_prefetch_budget_stalls_total %d\n", pf.BudgetStalls)
+		fmt.Fprintf(w, "sophon_prefetch_horizon_stalls_total %d\n", pf.HorizonStalls)
+		fmt.Fprintf(w, "sophon_prefetch_replans_total %d\n", pf.Replans)
+	}
+	if st != nil {
+		fmt.Fprintf(w, "sophon_prefetch_staging_used_bytes %d\n", st.UsedBytes)
+		fmt.Fprintf(w, "sophon_prefetch_staging_peak_bytes %d\n", st.PeakBytes)
+		fmt.Fprintf(w, "sophon_prefetch_staging_capacity_bytes %d\n", st.Capacity)
+	}
+}

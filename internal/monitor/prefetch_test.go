@@ -1,0 +1,136 @@
+package monitor
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/pipeline"
+	"repro/internal/prefetch"
+	"repro/internal/storage"
+)
+
+// drainScheduler runs a small clairvoyant schedule against a stub fetch so
+// the watched Metrics carry real counts.
+func drainScheduler(t *testing.T, m *prefetch.Metrics, ledger *cache.Staging) {
+	t.Helper()
+	const n = 12
+	payload := make([]byte, 64)
+	sched, err := prefetch.NewScheduler(prefetch.Config{
+		Order:   prefetch.Order(1, 1, n, false),
+		Shards:  1,
+		Depth:   2,
+		Ledger:  ledger,
+		Metrics: m,
+		Fetch: func(shard int, samples []uint32, splits []int) ([]storage.FetchResult, error) {
+			out := make([]storage.FetchResult, len(samples))
+			for i, s := range samples {
+				out[i] = storage.FetchResult{
+					Sample:    s,
+					Artifact:  pipeline.RawArtifact(payload),
+					WireBytes: len(payload),
+				}
+			}
+			return out, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sched.Stop()
+	for i := 0; i < n; i++ {
+		it, ok := sched.Next()
+		if !ok || it.Err != nil {
+			t.Fatalf("item %d: ok=%v %+v", i, ok, it)
+		}
+	}
+	sched.Wait()
+}
+
+func TestMonitorReportsPrefetch(t *testing.T) {
+	var pf prefetch.Metrics
+	ledger, err := cache.NewStaging(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainScheduler(t, &pf, ledger)
+	pf.NoteReplan()
+
+	m, _, _ := testMonitor()
+	m.WatchPrefetch(&pf).WatchStaging(ledger)
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got struct {
+		Prefetch *prefetch.MetricsSnapshot `json:"prefetch"`
+		Staging  *cache.StagingSnapshot    `json:"staging"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Prefetch == nil || got.Staging == nil {
+		t.Fatalf("stats missing prefetch/staging blocks: %+v", got)
+	}
+	if got.Prefetch.Completed != 12 || got.Prefetch.Raw != 12 {
+		t.Fatalf("prefetch block %+v, want 12 raw completions", got.Prefetch)
+	}
+	if got.Prefetch.Replans != 1 {
+		t.Fatalf("replans %d, want 1", got.Prefetch.Replans)
+	}
+	if got.Prefetch.StagedBytes != 0 {
+		t.Fatalf("staged bytes %d after full drain", got.Prefetch.StagedBytes)
+	}
+	if got.Staging.Capacity != 1<<20 || got.Staging.UsedBytes != 0 {
+		t.Fatalf("staging block %+v, want drained 1MiB ledger", got.Staging)
+	}
+	if got.Staging.PeakBytes == 0 {
+		t.Fatal("staging peak never moved — the ledger was not charged")
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{
+		"sophon_prefetch_issued_total 12",
+		"sophon_prefetch_completed_total 12",
+		"sophon_prefetch_failed_total 0",
+		"sophon_prefetch_raw_total 12",
+		"sophon_prefetch_staged_bytes 0",
+		"sophon_prefetch_replans_total 1",
+		"sophon_prefetch_staging_used_bytes 0",
+		"sophon_prefetch_staging_capacity_bytes 1048576",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestMonitorWithoutPrefetch: an unwatched monitor must not emit the
+// prefetch family at all — the block is strictly opt-in.
+func TestMonitorWithoutPrefetch(t *testing.T) {
+	m, _, _ := testMonitor()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if strings.Contains(string(body), "sophon_prefetch_") {
+		t.Fatal("prefetch gauges leaked into an unwatched monitor")
+	}
+}

@@ -190,6 +190,15 @@ func ConvertBenchRecord(source string, data []byte) (TrajectoryEntry, error) {
 			AggregateEpochSeconds float64 `json:"aggregate_epoch_seconds"`
 			CacheHitRate          float64 `json:"cache_hit_rate"`
 		} `json:"coordinated"`
+		PrefetchSpeedup *float64 `json:"prefetch_speedup"`
+		Reactive        struct {
+			EpochSeconds float64 `json:"epoch_seconds"`
+			LinkIdleFrac float64 `json:"link_idle_frac"`
+		} `json:"reactive"`
+		Clairvoyant struct {
+			EpochSeconds float64 `json:"epoch_seconds"`
+			LinkIdleFrac float64 `json:"link_idle_frac"`
+		} `json:"clairvoyant"`
 		Scenarios []SLOScenario `json:"scenarios"`
 	}
 	if err := json.Unmarshal(data, &probe); err != nil {
@@ -234,6 +243,12 @@ func ConvertBenchRecord(source string, data []byte) (TrajectoryEntry, error) {
 		e.Metrics["coordinated_speedup"] = *probe.CoordinatedSpeedup
 		e.Metrics["coordinated/aggregate_epoch_seconds"] = probe.Coordinated.AggregateEpochSeconds
 		e.Metrics["coordinated/cache_hit_rate"] = probe.Coordinated.CacheHitRate
+	case probe.PrefetchSpeedup != nil: // BENCH_pr8: clairvoyant prefetching
+		e.Metrics["prefetch_speedup"] = *probe.PrefetchSpeedup
+		e.Metrics["reactive/epoch_seconds"] = probe.Reactive.EpochSeconds
+		e.Metrics["reactive/link_idle_frac"] = probe.Reactive.LinkIdleFrac
+		e.Metrics["clairvoyant/epoch_seconds"] = probe.Clairvoyant.EpochSeconds
+		e.Metrics["clairvoyant/link_idle_frac"] = probe.Clairvoyant.LinkIdleFrac
 	default:
 		return TrajectoryEntry{}, fmt.Errorf("perfbench: convert %s: unrecognized record shape (kind %q)", source, probe.Kind)
 	}

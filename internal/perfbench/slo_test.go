@@ -136,6 +136,8 @@ func TestConvertBenchRecords(t *testing.T) {
 		{"../../BENCH_pr3.json", 3, "pipeline/BenchmarkFullPipeline640x480/ns_per_op"},
 		{"../../BENCH_pr5.json", 5, "adaptive_vs_oracle"},
 		{"../../BENCH_pr6.json", 6, "coordinated_speedup"},
+		{"../../BENCH_pr8.json", 8, "prefetch_speedup"},
+		{"../../BENCH_alloc.json", 0, "imaging/Decode640x480/ns_per_op"},
 	}
 	for _, tc := range cases {
 		data, err := os.ReadFile(tc.file)
@@ -157,5 +159,76 @@ func TestConvertBenchRecords(t *testing.T) {
 
 	if _, err := ConvertBenchRecord("bogus", []byte(`{"kind":"???"}`)); err == nil {
 		t.Error("unrecognized shape converted without error")
+	}
+}
+
+// TestCompareBench: the alloc-suite gate catches alloc regressions and
+// vanished kernels, tolerates exactly the configured slack, and ignores
+// timing entirely.
+func TestCompareBench(t *testing.T) {
+	base := BenchRecord{Kind: "BENCH", Results: []Result{
+		{Name: "imaging/Decode", NsPerOp: 100, AllocsPerOp: 43},
+		{Name: "wire/Write", NsPerOp: 50, AllocsPerOp: 0},
+	}}
+	if regs := CompareBench(base, base, 0); len(regs) != 0 {
+		t.Fatalf("identical records failed the gate: %v", regs)
+	}
+
+	slower := BenchRecord{Kind: "BENCH", Results: []Result{
+		{Name: "imaging/Decode", NsPerOp: 100000, AllocsPerOp: 43},
+		{Name: "wire/Write", NsPerOp: 50000, AllocsPerOp: 0},
+	}}
+	if regs := CompareBench(base, slower, 0); len(regs) != 0 {
+		t.Fatalf("timing-only drift failed the alloc gate: %v", regs)
+	}
+
+	leaky := BenchRecord{Kind: "BENCH", Results: []Result{
+		{Name: "imaging/Decode", NsPerOp: 100, AllocsPerOp: 45},
+		{Name: "wire/Write", NsPerOp: 50, AllocsPerOp: 0},
+	}}
+	if regs := CompareBench(base, leaky, 0); len(regs) != 1 {
+		t.Fatalf("2 extra allocs/op not caught: %v", regs)
+	}
+	if regs := CompareBench(base, leaky, 2); len(regs) != 0 {
+		t.Fatalf("allocSlack 2 did not absorb 2 extra allocs/op: %v", regs)
+	}
+	if regs := CompareBench(base, leaky, 1); len(regs) != 1 {
+		t.Fatalf("allocSlack 1 absorbed 2 extra allocs/op: %v", regs)
+	}
+
+	gone := BenchRecord{Kind: "BENCH", Results: base.Results[:1]}
+	if regs := CompareBench(base, gone, 0); len(regs) != 1 {
+		t.Fatalf("vanished kernel not caught: %v", regs)
+	}
+
+	grown := BenchRecord{Kind: "BENCH", Results: append([]Result{
+		{Name: "new/Kernel", NsPerOp: 10, AllocsPerOp: 99},
+	}, base.Results...)}
+	if regs := CompareBench(base, grown, 0); len(regs) != 0 {
+		t.Fatalf("new kernel failed the gate: %v", regs)
+	}
+}
+
+// TestIsBenchSuite: the gate's shape detector tells alloc-suite records from
+// every other record kind this repo commits.
+func TestIsBenchSuite(t *testing.T) {
+	suite, err := os.ReadFile("../../BENCH_alloc.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsBenchSuite(suite) {
+		t.Fatal("BENCH_alloc.json not detected as an alloc-suite record")
+	}
+	for _, f := range []string{"../../BENCH_pr5.json", "../../BENCH_pr7.json", "../../BENCH_pr8.json"} {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if IsBenchSuite(data) {
+			t.Fatalf("%s misdetected as an alloc-suite record", f)
+		}
+	}
+	if IsBenchSuite([]byte("not json")) {
+		t.Fatal("garbage detected as an alloc-suite record")
 	}
 }

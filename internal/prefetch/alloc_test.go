@@ -1,0 +1,68 @@
+package prefetch
+
+import (
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/raceflag"
+	"repro/internal/storage"
+)
+
+// TestSchedulerSteadyStateAllocs pins the lookahead hot path: per consumed
+// sample the scheduler (claim bookkeeping, issue buffers, slot bookkeeping,
+// delivery) must add at most 2 allocs/op over whatever the fetch itself
+// costs. The stub fetch reuses one results buffer (safe at Depth 1 — the
+// same goroutine completes a round trip before reusing it), so the measured
+// allocations are the scheduler's own.
+func TestSchedulerSteadyStateAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race detector inflates allocation counts; budgets not meaningful")
+	}
+	const n = 2048
+	order := Order(1, 1, n, true)
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	buf := make([]storage.FetchResult, 64)
+	fetch := func(shard int, samples []uint32, splits []int) ([]storage.FetchResult, error) {
+		out := buf[:len(samples)]
+		for k, s := range samples {
+			out[k] = storage.FetchResult{
+				Sample:    s,
+				Split:     splits[k],
+				WireBytes: len(payload),
+				Artifact:  pipeline.Artifact{Kind: pipeline.KindRaw, Raw: payload},
+			}
+		}
+		return out, nil
+	}
+	run := func() {
+		c, err := NewScheduler(Config{
+			Order:        order,
+			Depth:        1,
+			BatchSize:    16,
+			Horizon:      256,
+			StagingBytes: 1 << 20,
+			Split:        func(sample int) int { return sample % 2 },
+			Fetch:        fetch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			it, ok := c.Next()
+			if !ok {
+				break
+			}
+			if it.Err != nil {
+				t.Fatal(it.Err)
+			}
+		}
+		c.Wait()
+	}
+	run() // warmup
+	allocs := testing.AllocsPerRun(5, run)
+	perSample := allocs / n
+	if perSample > 2 {
+		t.Fatalf("lookahead hot path allocates %.2f allocs per sample (%.0f per epoch of %d), budget is 2",
+			perSample, allocs, n)
+	}
+}

@@ -1,0 +1,33 @@
+// Package prefetch implements the clairvoyant lookahead scheduler of the
+// trainer's fetch stage. Because the epoch's sample order derives from a
+// seeded shuffle, the entire future access stream is known the moment an
+// epoch starts — the core insight of NoPFS-style clairvoyant prefetching.
+// The scheduler materializes that stream, partitions it per storage shard,
+// and keeps every shard link saturated with per-shard depth targets instead
+// of stalling behind one globally-ordered in-flight window.
+package prefetch
+
+import "math/rand/v2"
+
+// shuffleSalt decorrelates the shuffle stream from other per-job PRNG uses
+// (augmentation seeds derive from the job ID directly). It is part of the
+// persisted-reproducibility contract: changing it changes every epoch's
+// visit order for existing seeds.
+const shuffleSalt = 0xabcdef
+
+// Order returns the epoch's sample visit order: the identity permutation of
+// [0, n), shuffled by a PRNG seeded with (jobID, epoch) when shuffle is set.
+// This is the single definition of the stream — the trainer consumes in this
+// order and the scheduler prefetches in it, so both sides always agree on
+// what "next" means. Deterministic in its arguments.
+func Order(jobID, epoch uint64, n int, shuffle bool) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	if shuffle {
+		rng := rand.New(rand.NewPCG(jobID^shuffleSalt, epoch))
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	}
+	return idx
+}

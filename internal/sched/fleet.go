@@ -37,6 +37,11 @@ type Tenant struct {
 	// receives twice the bandwidth share of a weight-1 tenant and its
 	// marginal core gains count double in the water-filling loop.
 	Weight float64
+	// JobID is the tenant's wire identity — the JobID its trainers stamp on
+	// storage requests. When set (non-zero), AdmissionWeight resolves it to
+	// this tenant's Weight so the storage tier's admission queue drains in
+	// the same proportions the coordinator planned. 0 = not wired.
+	JobID uint64
 	// Trace is the tenant's stage-2 profile.
 	Trace *dataset.Trace
 	// Env carries the tenant's OWN resources (compute cores, GPU model,
@@ -240,6 +245,13 @@ func (c *Coordinator) Admit(t Tenant) (policy.PlanProvider, error) {
 	if t.Trace == nil || t.Trace.N() == 0 {
 		return nil, fmt.Errorf("sched: tenant %q has an empty trace", t.Name)
 	}
+	if t.JobID != 0 {
+		for _, name := range c.order {
+			if c.tenants[name].JobID == t.JobID {
+				return nil, fmt.Errorf("sched: tenant %q: wire JobID %d already claimed by %q", t.Name, t.JobID, name)
+			}
+		}
+	}
 	env := t.Env
 	env.StorageCores = 0
 	env.Bandwidth = c.bandwidth
@@ -385,6 +397,26 @@ func (c *Coordinator) Grants() map[string]Grant {
 		out[name] = st.grant
 	}
 	return out
+}
+
+// AdmissionWeight resolves a wire JobID to the owning tenant's fair-share
+// weight — the bridge between the fleet's planned shares and the storage
+// tier's admission queue. Plug it into storage.AdmissionConfig.Weight so
+// requests drain in the same proportions the coordinator granted bandwidth.
+// Unknown or unset (0) JobIDs weigh 1, and departures fall back to 1
+// automatically. Safe for concurrent use from the serving hot path.
+func (c *Coordinator) AdmissionWeight(jobID uint64) float64 {
+	if jobID == 0 {
+		return 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, st := range c.tenants {
+		if st.JobID == jobID {
+			return st.weight()
+		}
+	}
+	return 1
 }
 
 // Generation returns the current fleet plan generation.

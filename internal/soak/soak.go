@@ -64,6 +64,11 @@ type Config struct {
 	Samples int   // dataset size (0 → 48)
 	Shards  int   // storage shards (0 → 2)
 	Epochs  int   // trainer epochs (0 → 3)
+	// Lookahead selects the trainer's clairvoyant prefetch scheduler with
+	// this per-shard depth; 0 keeps the legacy reactive window. Soaking with
+	// a deep lookahead proves the recovery invariants hold while many
+	// speculative fetches are in flight against a faulty fabric.
+	Lookahead int
 }
 
 func (c Config) withDefaults() Config {
@@ -114,9 +119,10 @@ func (c Config) Plan() *chaos.Plan {
 
 // Report is the outcome of one soak run.
 type Report struct {
-	Seed   uint64 `json:"seed"`
-	Class  Class  `json:"class"`
-	Digest uint32 `json:"digest"` // chaos plan fingerprint: same seed → same digest
+	Seed      uint64 `json:"seed"`
+	Class     Class  `json:"class"`
+	Lookahead int    `json:"lookahead,omitempty"`
+	Digest    uint32 `json:"digest"` // chaos plan fingerprint: same seed → same digest
 
 	Compared   int `json:"compared"`   // artifact pairs checked for bit identity
 	Mismatches int `json:"mismatches"` // pairs that differed (must be 0)
@@ -144,7 +150,7 @@ var retryPolicy = storage.RetryPolicy{Attempts: 12, BaseBackoff: -1, Jitter: -1}
 // middle epoch under the partition class) and account failures exactly.
 func Run(cfg Config) (Report, error) {
 	cfg = cfg.withDefaults()
-	rep := Report{Seed: cfg.Seed, Class: cfg.Class}
+	rep := Report{Seed: cfg.Seed, Class: cfg.Class, Lookahead: cfg.Lookahead}
 
 	set, err := dataset.NewSyntheticImageSet(dataset.SyntheticOptions{
 		Name: "soak", N: cfg.Samples, Seed: cfg.Seed ^ 0x5eed, MinDim: 32, MaxDim: 96,
@@ -240,6 +246,7 @@ func trainEpochs(rep *Report, cfg Config, faulty *cluster.Cluster) error {
 		FetchBatchSize: 8,
 		JobID:          cfg.Seed,
 		DegradedMode:   true,
+		Lookahead:      cfg.Lookahead,
 	})
 	if err != nil {
 		return fmt.Errorf("soak: trainer: %w", err)

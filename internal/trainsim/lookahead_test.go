@@ -1,0 +1,287 @@
+package trainsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/chaos"
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/gpu"
+	"repro/internal/pipeline"
+	"repro/internal/policy"
+	"repro/internal/prefetch"
+	"repro/internal/storage"
+)
+
+func TestLookaheadConfigValidation(t *testing.T) {
+	h := newHarness(t, 4, 1)
+	ledger, err := cache.NewStaging(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"window+lookahead", func(c *Config) { c.PrefetchWindow = 8; c.Lookahead = 4 }},
+		{"horizon without lookahead", func(c *Config) { c.LookaheadHorizon = 64 }},
+		{"staging without lookahead", func(c *Config) { c.StagingBytes = 1 << 20 }},
+		{"ledger without lookahead", func(c *Config) { c.StagingLedger = ledger }},
+	}
+	for _, tc := range cases {
+		cfg := h.config()
+		tc.mut(&cfg)
+		if _, err := New(cfg); !errors.Is(err, ErrPrefetchConfig) {
+			t.Errorf("%s: err = %v, want ErrPrefetchConfig", tc.name, err)
+		}
+	}
+
+	// Legacy semantics preserved: window 0 still means 2×Workers reactive.
+	cfg := h.config()
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if tr.cfg.PrefetchWindow != 2*cfg.Workers {
+		t.Fatalf("reactive default window %d, want %d", tr.cfg.PrefetchWindow, 2*cfg.Workers)
+	}
+	// And lookahead mode leaves the window alone (no silent 2×Workers).
+	cfg2 := h.config()
+	cfg2.Lookahead = 4
+	tr2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr2.Close()
+	if tr2.cfg.PrefetchWindow != 0 {
+		t.Fatalf("lookahead mode defaulted the reactive window to %d", tr2.cfg.PrefetchWindow)
+	}
+	if tr2.cfg.StagingBytes != DefaultStagingBytes {
+		t.Fatalf("staging default %d, want %d", tr2.cfg.StagingBytes, DefaultStagingBytes)
+	}
+}
+
+// TestLookaheadEpochSingleServer: lookahead over a plain (non-sharded)
+// client falls back to single-link scheduling and still trains the full
+// epoch, byte-for-byte equal to the reactive run.
+func TestLookaheadEpochSingleServer(t *testing.T) {
+	h := newHarness(t, 32, 4)
+
+	rcfg := h.config()
+	rcfg.FetchBatchSize = 4
+	reactive, err := New(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reactive.Close()
+	r1, err := reactive.RunEpoch(1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := h.config()
+	cfg.Lookahead = 3
+	cfg.FetchBatchSize = 4
+	la, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer la.Close()
+	r2, err := la.RunEpoch(1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Samples != r1.Samples || r2.BytesFetched != r1.BytesFetched {
+		t.Fatalf("lookahead epoch (samples %d, bytes %d) != reactive (samples %d, bytes %d)",
+			r2.Samples, r2.BytesFetched, r1.Samples, r1.BytesFetched)
+	}
+	snap := la.PrefetchMetrics().Snapshot()
+	if snap.Completed != int64(r2.Samples) || snap.Raw != int64(r2.Samples) {
+		t.Fatalf("prefetch counters %+v for %d raw samples", snap, r2.Samples)
+	}
+}
+
+func lookaheadCluster(t testing.TB, n, shards int, plan *chaos.Plan) (*cluster.Cluster, Config) {
+	t.Helper()
+	set, err := dataset.NewSyntheticImageSet(dataset.SyntheticOptions{
+		Name: "lookahead", N: n, Seed: 13, MinDim: 48, MaxDim: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := storage.FromImageSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := pipeline.Standard(pipeline.StandardOptions{CropSize: 32, FlipP: -1})
+	c, err := cluster.Launch(cluster.Config{
+		Shards:        shards,
+		Store:         store,
+		Pipeline:      pipe,
+		CoresPerShard: 2,
+		Chaos:         plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	cfg := Config{
+		DialClient: func() (StorageClient, error) {
+			return c.NewShardedClientWithPolicy(storage.ClientOptions{JobID: 7},
+				storage.RetryPolicy{Attempts: 2, BaseBackoff: -1, Jitter: -1}, true)
+		},
+		Workers:        3,
+		Pipeline:       pipe,
+		GPU:            gpu.AlexNet,
+		BatchSize:      8,
+		JobID:          7,
+		Shuffle:        true,
+		FetchBatchSize: 4,
+		DegradedMode:   true,
+	}
+	return c, cfg
+}
+
+// TestLookaheadShardedMatchesReactive drives both fetch modes over the same
+// 3-shard tier with an offloading plan: per-shard issue queues must deliver
+// exactly the reactive pipeline's training outcome (same samples, offload
+// count, and wire bytes — artifact sizes are deterministic).
+func TestLookaheadShardedMatchesReactive(t *testing.T) {
+	const n = 48
+	_, cfg := lookaheadCluster(t, n, 3, nil)
+	plan, err := policy.NewUniformPlan("half", n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reactive, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reactive.Close()
+	r1, err := reactive.RunEpoch(1, plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfgLA := cfg
+	cfgLA.Lookahead = 4
+	la, err := New(cfgLA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer la.Close()
+	r2, err := la.RunEpoch(1, plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Samples != n || r2.Samples != n {
+		t.Fatalf("samples %d/%d, want %d", r1.Samples, r2.Samples, n)
+	}
+	if r2.Offloaded != r1.Offloaded {
+		t.Fatalf("lookahead offloaded %d != reactive %d", r2.Offloaded, r1.Offloaded)
+	}
+	// Same artifacts, but per-shard sub-batches amortize response-frame
+	// overhead over full batches where the reactive fan-out splits each
+	// global chunk into shard fragments — lookahead must never ship MORE
+	// bytes, and the payload difference stays within the per-trip overhead.
+	if r2.BytesFetched > r1.BytesFetched {
+		t.Fatalf("lookahead shipped %d bytes > reactive %d", r2.BytesFetched, r1.BytesFetched)
+	}
+	if r1.BytesFetched-r2.BytesFetched > int64(n)*64 {
+		t.Fatalf("byte gap %d too large for overhead alone", r1.BytesFetched-r2.BytesFetched)
+	}
+	snap := la.PrefetchMetrics().Snapshot()
+	if snap.Offloaded != int64(n) {
+		t.Fatalf("prefetch tier accounting %+v, want %d offloaded", snap, n)
+	}
+}
+
+// TestLookaheadDegradedPartition: with one shard partitioned for the whole
+// epoch and a deep lookahead in flight, exactly the dead shard's samples
+// fail (EpochReport.Failed) and every healthy sample still trains.
+func TestLookaheadDegradedPartition(t *testing.T) {
+	const n = 60
+	c, cfg := lookaheadCluster(t, n, 3, &chaos.Plan{Seed: 2})
+	cfg.Lookahead = 6
+	cfg.LookaheadHorizon = n // deep: the whole epoch is eligible
+	owned := len(c.ShardMap().Owned(n, 1))
+	if owned == 0 {
+		t.Fatal("shard 1 owns nothing; test is vacuous")
+	}
+	tr, err := New(cfg) // dial while healthy, then sever
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := c.PartitionShard(1, true); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	r, err := tr.RunEpoch(1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Failed != owned {
+		t.Fatalf("Failed = %d, want exactly the dead shard's %d samples", r.Failed, owned)
+	}
+	if r.Samples != n-owned {
+		t.Fatalf("Samples = %d, want %d healthy", r.Samples, n-owned)
+	}
+	snap := tr.PrefetchMetrics().Snapshot()
+	if snap.Failed != int64(owned) {
+		t.Fatalf("prefetch failed counter %d, want %d", snap.Failed, owned)
+	}
+	// Fail-fast: the epoch must not serialize a retry storm per dead sample.
+	if d := time.Since(start); d > 30*time.Second {
+		t.Fatalf("degraded epoch took %v — fail-fast is not engaging", d)
+	}
+}
+
+// TestLookaheadReplanRotatesCuts: ApplySnapshot mid-training rotates the cut
+// source without restarting — the next lookahead epoch fetches under the new
+// snapshot's splits, and the rotation is counted.
+func TestLookaheadReplanRotatesCuts(t *testing.T) {
+	const n = 24
+	_, cfg := lookaheadCluster(t, n, 2, nil)
+	cfg.Lookahead = 3
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	noOff, err := policy.NewUniformPlan("v1", n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := policy.NewUniformPlan("v2", n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := tr.RunEpochSnapshot(1, &policy.PlanSnapshot{Version: 1, Plan: noOff, Epoch: 1, Reason: "initial"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Offloaded != 0 {
+		t.Fatalf("epoch 1 offloaded %d under the no-offload plan", r1.Offloaded)
+	}
+	// The control plane replans: the trainer learns via ApplySnapshot (the
+	// OnReplan hook path), not by restarting.
+	tr.ApplySnapshot(&policy.PlanSnapshot{Version: 2, Plan: off, Epoch: 2, Reason: "bandwidth-drift"})
+	r2, err := tr.RunEpochSnapshot(2, &policy.PlanSnapshot{Version: 2, Plan: off, Epoch: 2, Reason: "bandwidth-drift"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Offloaded != n {
+		t.Fatalf("epoch 2 offloaded %d, want %d under the rotated plan", r2.Offloaded, n)
+	}
+	if got := tr.PrefetchMetrics().Snapshot().Replans; got != 1 {
+		t.Fatalf("replans counter %d, want 1", got)
+	}
+	var _ prefetch.Ledger = (*cache.Staging)(nil) // compile-time: ledger contract
+}

@@ -10,14 +10,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand/v2"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/gpu"
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/policy"
+	"repro/internal/prefetch"
 	"repro/internal/profiler"
 	"repro/internal/simclock"
 	"repro/internal/storage"
@@ -45,8 +47,35 @@ type Config struct {
 	// Workers is the local preprocessing parallelism; 0 means 4.
 	Workers int
 	// PrefetchWindow bounds concurrently in-flight fetch requests on the
-	// session (the prefetch depth); 0 means 2×Workers.
+	// session in the legacy reactive mode (Lookahead == 0); 0 keeps meaning
+	// 2×Workers there. It is a reactive-mode knob only: setting it together
+	// with Lookahead is rejected with ErrPrefetchConfig, because the
+	// clairvoyant scheduler replaces the globally-ordered window with
+	// per-shard depth targets and a window bound would silently mean
+	// nothing.
 	PrefetchWindow int
+	// Lookahead switches the fetch stage to the clairvoyant scheduler
+	// (internal/prefetch): the epoch's exact access stream is derived from
+	// the seeded shuffle, partitioned per shard, and fetched ahead of
+	// consumption with this many concurrent round trips per shard. 0 keeps
+	// the legacy reactive window.
+	Lookahead int
+	// LookaheadHorizon bounds how many stream positions ahead of
+	// consumption the scheduler may issue (the reorder-buffer depth);
+	// 0 means 8 × Lookahead × fetch-batch × shards. Lookahead-mode only.
+	LookaheadHorizon int
+	// StagingBytes budgets the artifacts fetched but not yet consumed;
+	// 0 means DefaultStagingBytes, negative means unbounded.
+	// Lookahead-mode only.
+	StagingBytes int64
+	// StagingLedger, when non-nil, additionally charges staged bytes to an
+	// external accountant (cache.Staging) — share one across trainers to
+	// bound their combined staging footprint. Lookahead-mode only.
+	StagingLedger prefetch.Ledger
+	// PrefetchMetrics receives the scheduler's instrumentation (the
+	// monitor's sophon_prefetch_* block); nil means a private Metrics,
+	// still readable via Trainer.PrefetchMetrics.
+	PrefetchMetrics *prefetch.Metrics
 	// ComputeCores bounds concurrent local preprocessing; 0 means Workers.
 	ComputeCores int
 	// Pipeline is the preprocessing pipeline (must match the server's).
@@ -77,6 +106,15 @@ type Config struct {
 	DegradedMode bool
 }
 
+// DefaultStagingBytes is the lookahead staging budget when Config leaves
+// StagingBytes zero.
+const DefaultStagingBytes = 64 << 20
+
+// ErrPrefetchConfig reports conflicting prefetch knobs: the legacy reactive
+// window and the clairvoyant lookahead are mutually exclusive modes, and
+// lookahead-only knobs require Lookahead > 0.
+var ErrPrefetchConfig = errors.New("trainsim: conflicting prefetch config")
+
 // Trainer runs training epochs against a storage server.
 type Trainer struct {
 	cfg    Config
@@ -84,6 +122,10 @@ type Trainer struct {
 	n      int
 	closed bool
 	mu     sync.Mutex
+	// snap is the live plan snapshot lookahead epochs read splits from; it
+	// can rotate mid-epoch via ApplySnapshot without restarting the stream.
+	snap atomic.Pointer[policy.PlanSnapshot]
+	pf   *prefetch.Metrics
 }
 
 // EpochReport summarizes one epoch.
@@ -146,10 +188,37 @@ func New(cfg Config) (*Trainer, error) {
 	if cfg.PrefetchWindow < 0 {
 		return nil, fmt.Errorf("trainsim: prefetch window %d", cfg.PrefetchWindow)
 	}
-	if cfg.PrefetchWindow == 0 {
-		cfg.PrefetchWindow = 2 * cfg.Workers
+	if cfg.Lookahead < 0 {
+		return nil, fmt.Errorf("trainsim: lookahead %d", cfg.Lookahead)
 	}
-	t := &Trainer{cfg: cfg}
+	if cfg.Lookahead > 0 && cfg.PrefetchWindow > 0 {
+		return nil, fmt.Errorf("%w: PrefetchWindow %d with Lookahead %d (the reactive window and the clairvoyant scheduler are exclusive modes)",
+			ErrPrefetchConfig, cfg.PrefetchWindow, cfg.Lookahead)
+	}
+	if cfg.Lookahead == 0 {
+		switch {
+		case cfg.LookaheadHorizon != 0:
+			return nil, fmt.Errorf("%w: LookaheadHorizon %d without Lookahead", ErrPrefetchConfig, cfg.LookaheadHorizon)
+		case cfg.StagingBytes != 0:
+			return nil, fmt.Errorf("%w: StagingBytes %d without Lookahead", ErrPrefetchConfig, cfg.StagingBytes)
+		case cfg.StagingLedger != nil:
+			return nil, fmt.Errorf("%w: StagingLedger without Lookahead", ErrPrefetchConfig)
+		}
+		// Legacy reactive default, unchanged: 0 means 2×Workers.
+		if cfg.PrefetchWindow == 0 {
+			cfg.PrefetchWindow = 2 * cfg.Workers
+		}
+	}
+	if cfg.LookaheadHorizon < 0 {
+		return nil, fmt.Errorf("trainsim: lookahead horizon %d", cfg.LookaheadHorizon)
+	}
+	if cfg.StagingBytes == 0 {
+		cfg.StagingBytes = DefaultStagingBytes
+	}
+	t := &Trainer{cfg: cfg, pf: cfg.PrefetchMetrics}
+	if t.pf == nil {
+		t.pf = &prefetch.Metrics{}
+	}
 	c, err := cfg.DialClient()
 	if err != nil {
 		return nil, fmt.Errorf("trainsim: dial: %w", err)
@@ -179,17 +248,37 @@ func (t *Trainer) Close() {
 	}
 }
 
-// order returns the epoch's sample visit order.
+// order returns the epoch's sample visit order — the one definition shared
+// with the clairvoyant scheduler, so the prefetched stream and the consumed
+// stream can never disagree.
 func (t *Trainer) order(epoch uint64) []int {
-	idx := make([]int, t.n)
-	for i := range idx {
-		idx[i] = i
+	return prefetch.Order(t.cfg.JobID, epoch, t.n, t.cfg.Shuffle)
+}
+
+// PrefetchMetrics exposes the lookahead scheduler's counters (zero-valued
+// while running reactive).
+func (t *Trainer) PrefetchMetrics() *prefetch.Metrics { return t.pf }
+
+// ApplySnapshot rotates the live plan mid-epoch: a lookahead epoch's
+// scheduler reads splits at issue time, so every stream entry not yet
+// issued is fetched under the new snapshot's cut depths while entries
+// already staged are kept — they were fetched at cuts that remain correct
+// (preprocessing is deterministic in (job, epoch, sample) for whichever cut
+// they carried), so nothing is flushed. The snapshot's version is stamped on
+// the session for all subsequent wire fetches. Wire this to
+// core.Controller.OnReplan for live replanning; it is a no-op for epochs
+// run with a bare plan until the next RunEpochSnapshot.
+func (t *Trainer) ApplySnapshot(snap *policy.PlanSnapshot) {
+	if snap == nil || snap.Plan == nil || snap.Plan.N() != t.n {
+		return
 	}
-	if t.cfg.Shuffle {
-		rng := rand.New(rand.NewPCG(t.cfg.JobID^0xabcdef, epoch))
-		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	old := t.snap.Swap(snap)
+	if pv, ok := t.client.(storage.PlanVersioner); ok {
+		pv.SetPlanVersion(uint32(snap.Version))
 	}
-	return idx
+	if old != nil && old.Version != snap.Version {
+		t.pf.NoteReplan()
+	}
 }
 
 type sampleOutcome struct {
@@ -212,6 +301,7 @@ type sampleOutcome struct {
 // cancels the epoch's context, which unblocks in-flight fetches promptly
 // without poisoning the session.
 func (t *Trainer) RunEpoch(epoch uint64, plan *policy.Plan, collector *profiler.Collector) (EpochReport, error) {
+	t.snap.Store(nil) // a bare plan supersedes any earlier snapshot
 	return t.runEpoch(epoch, plan, 0, collector)
 }
 
@@ -227,6 +317,7 @@ func (t *Trainer) RunEpochSnapshot(epoch uint64, snap *policy.PlanSnapshot, coll
 	if snap == nil {
 		return EpochReport{}, errors.New("trainsim: nil plan snapshot")
 	}
+	t.snap.Store(snap)
 	if pv, ok := t.client.(storage.PlanVersioner); ok {
 		pv.SetPlanVersion(uint32(snap.Version))
 	}
@@ -243,77 +334,18 @@ func (t *Trainer) runEpoch(epoch uint64, plan *policy.Plan, version policy.PlanV
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
-	chunkSize := 1
-	if t.cfg.FetchBatchSize > 1 {
-		chunkSize = t.cfg.FetchBatchSize
-	}
 	order := t.order(epoch)
-	chunks := make(chan []int, len(order)/chunkSize+1)
-	for start := 0; start < len(order); start += chunkSize {
-		end := start + chunkSize
-		if end > len(order) {
-			end = len(order)
-		}
-		chunks <- order[start:end]
-	}
-	close(chunks)
-
-	// Stage 1: fetchers keep the link full. Each goroutine holds at most
-	// one chunk request in flight, so the window bounds session occupancy.
-	fetched := make(chan fetchedChunk, t.cfg.PrefetchWindow)
-	var fwg sync.WaitGroup
-	for f := 0; f < t.cfg.PrefetchWindow; f++ {
-		fwg.Add(1)
-		go func() {
-			defer fwg.Done()
-			for chunk := range chunks {
-				if ctx.Err() != nil {
-					return
-				}
-				fc := t.fetchChunk(ctx, epoch, chunk, plan, collector)
-				select {
-				case fetched <- fc:
-				case <-ctx.Done():
-					return
-				}
-			}
-		}()
-	}
-	go func() {
-		fwg.Wait()
-		close(fetched)
-	}()
-
-	// Stage 2: processors finish samples locally. After a cancel they keep
-	// draining `fetched` without working, so fetchers never block.
 	results := make(chan sampleOutcome, t.cfg.BatchSize*2)
 	computeSem := make(chan struct{}, t.cfg.ComputeCores)
-	var pwg sync.WaitGroup
-	for w := 0; w < t.cfg.Workers; w++ {
-		pwg.Add(1)
-		go func() {
-			defer pwg.Done()
-			for fc := range fetched {
-				if ctx.Err() != nil {
-					continue
-				}
-				for _, out := range t.processFetched(ctx, fc, epoch, collector, computeSem) {
-					select {
-					case results <- out:
-					case <-ctx.Done():
-					}
-					if out.err != nil {
-						cancel()
-						break
-					}
-				}
-			}
-		}()
+	if t.cfg.Lookahead > 0 {
+		stop, err := t.startLookahead(ctx, cancel, epoch, order, plan, collector, results, computeSem)
+		if err != nil {
+			return EpochReport{}, err
+		}
+		defer stop()
+	} else {
+		t.startReactive(ctx, cancel, epoch, order, plan, collector, results, computeSem)
 	}
-	go func() {
-		pwg.Wait()
-		close(results)
-	}()
 
 	report := EpochReport{Epoch: epoch, PlanVersion: version}
 	inBatch := 0
@@ -361,6 +393,213 @@ func (t *Trainer) runEpoch(epoch uint64, plan *policy.Plan, version policy.PlanV
 		t.cfg.Metrics.Counter("trainer.epochs").Inc()
 	}
 	return report, nil
+}
+
+// startReactive runs the legacy two-stage pipeline: PrefetchWindow fetcher
+// goroutines pull globally-ordered chunks and Workers processors finish them
+// locally. The goroutines close results when the epoch drains.
+func (t *Trainer) startReactive(ctx context.Context, cancel context.CancelFunc, epoch uint64, order []int, plan *policy.Plan, collector *profiler.Collector, results chan<- sampleOutcome, computeSem chan struct{}) {
+	chunkSize := 1
+	if t.cfg.FetchBatchSize > 1 {
+		chunkSize = t.cfg.FetchBatchSize
+	}
+	chunks := make(chan []int, len(order)/chunkSize+1)
+	for start := 0; start < len(order); start += chunkSize {
+		end := start + chunkSize
+		if end > len(order) {
+			end = len(order)
+		}
+		chunks <- order[start:end]
+	}
+	close(chunks)
+
+	// Stage 1: fetchers keep the link full. Each goroutine holds at most
+	// one chunk request in flight, so the window bounds session occupancy.
+	fetched := make(chan fetchedChunk, t.cfg.PrefetchWindow)
+	var fwg sync.WaitGroup
+	for f := 0; f < t.cfg.PrefetchWindow; f++ {
+		fwg.Add(1)
+		go func() {
+			defer fwg.Done()
+			for chunk := range chunks {
+				if ctx.Err() != nil {
+					return
+				}
+				fc := t.fetchChunk(ctx, epoch, chunk, plan, collector)
+				select {
+				case fetched <- fc:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		fwg.Wait()
+		close(fetched)
+	}()
+
+	// Stage 2: processors finish samples locally. After a cancel they keep
+	// draining `fetched` without working, so fetchers never block.
+	var pwg sync.WaitGroup
+	for w := 0; w < t.cfg.Workers; w++ {
+		pwg.Add(1)
+		go func() {
+			defer pwg.Done()
+			for fc := range fetched {
+				if ctx.Err() != nil {
+					continue
+				}
+				for _, out := range t.processFetched(ctx, fc, epoch, collector, computeSem) {
+					select {
+					case results <- out:
+					case <-ctx.Done():
+					}
+					if out.err != nil {
+						cancel()
+						break
+					}
+				}
+			}
+		}()
+	}
+	go func() {
+		pwg.Wait()
+		close(results)
+	}()
+}
+
+// startLookahead runs the clairvoyant fetch stage: a prefetch.Scheduler
+// materializes the epoch's exact stream, partitions it by the client's
+// placement map (storage.ShardRouter — single-link fallback otherwise), and
+// keeps Lookahead round trips in flight per shard. Workers consume in
+// stream order via Next. The returned stop function aborts the scheduler
+// and waits out its issue goroutines; it is safe to call after a normal
+// drain.
+func (t *Trainer) startLookahead(ctx context.Context, cancel context.CancelFunc, epoch uint64, order []int, plan *policy.Plan, collector *profiler.Collector, results chan<- sampleOutcome, computeSem chan struct{}) (func(), error) {
+	shards := 1
+	var shardOf func(uint32) int
+	router, _ := t.client.(storage.ShardRouter)
+	if router != nil {
+		if s, f, ok := router.ShardInfo(); ok {
+			shards, shardOf = s, f
+		} else {
+			router = nil
+		}
+	}
+	batch := 1
+	if t.cfg.FetchBatchSize > 1 {
+		batch = t.cfg.FetchBatchSize
+	}
+	horizon := t.cfg.LookaheadHorizon
+	if horizon == 0 {
+		horizon = 8 * t.cfg.Lookahead * batch * shards
+	}
+	staging := t.cfg.StagingBytes
+	if staging < 0 {
+		staging = 0 // unbounded
+	}
+	split := func(sample int) int {
+		if collector != nil {
+			return 0
+		}
+		if s := t.snap.Load(); s != nil && s.Plan != nil && s.Plan.N() == t.n {
+			return s.Plan.Split(sample)
+		}
+		if plan == nil {
+			return 0
+		}
+		return plan.Split(sample)
+	}
+	fetch := func(shard int, samples []uint32, splits []int) ([]storage.FetchResult, error) {
+		fetchStart := time.Now()
+		var res []storage.FetchResult
+		var err error
+		switch {
+		case router != nil:
+			res, err = router.FetchShard(ctx, shard, samples, splits, epoch)
+		case len(samples) == 1:
+			var r storage.FetchResult
+			r, err = t.client.Fetch(ctx, samples[0], splits[0], epoch)
+			if err == nil {
+				res = []storage.FetchResult{r}
+			}
+		default:
+			res, err = t.client.FetchBatch(ctx, samples, splits, epoch)
+		}
+		if err != nil {
+			return nil, err
+		}
+		var bytes int
+		for _, r := range res {
+			bytes += r.WireBytes
+		}
+		t.observeFetch(time.Since(fetchStart), len(res), bytes)
+		return res, err
+	}
+	sched, err := prefetch.NewScheduler(prefetch.Config{
+		Order:        order,
+		Shards:       shards,
+		ShardOf:      shardOf,
+		Depth:        t.cfg.Lookahead,
+		BatchSize:    batch,
+		Horizon:      horizon,
+		StagingBytes: staging,
+		Ledger:       t.cfg.StagingLedger,
+		Split:        split,
+		Fetch:        fetch,
+		FailFast:     t.cfg.DegradedMode,
+		Down:         func(err error) bool { return errors.Is(err, cluster.ErrShardDown) },
+		Metrics:      t.pf,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("trainsim: lookahead: %w", err)
+	}
+
+	var pwg sync.WaitGroup
+	for w := 0; w < t.cfg.Workers; w++ {
+		pwg.Add(1)
+		go func() {
+			defer pwg.Done()
+			for {
+				it, ok := sched.Next()
+				if !ok || ctx.Err() != nil {
+					return
+				}
+				out := t.processItem(it, epoch, collector, computeSem)
+				select {
+				case results <- out:
+				case <-ctx.Done():
+				}
+				if out.err != nil {
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		pwg.Wait()
+		close(results)
+	}()
+	return func() {
+		cancel()
+		sched.Stop()
+		sched.Wait()
+	}, nil
+}
+
+// processItem finishes one delivered stream entry locally, with the same
+// degraded-mode semantics as the reactive path: a failed fetch skips just
+// that sample when DegradedMode is on, and aborts the epoch otherwise.
+func (t *Trainer) processItem(it prefetch.Item, epoch uint64, collector *profiler.Collector, computeSem chan struct{}) sampleOutcome {
+	if it.Err != nil {
+		if t.cfg.DegradedMode {
+			return sampleOutcome{failed: true}
+		}
+		return sampleOutcome{err: fmt.Errorf("trainsim: fetch sample %d: %w", it.Sample, it.Err)}
+	}
+	return t.finishSample(it.Res, epoch, it.Sample, it.Split, collector, computeSem)
 }
 
 func (t *Trainer) gpuStep(report *EpochReport, size int) {
