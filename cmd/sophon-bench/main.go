@@ -48,6 +48,13 @@
 // writes a JSON report with epoch times and per-link idle fractions (the
 // contents of BENCH_pr8.json).
 //
+// With -prepsched the command instead runs the variance-aware preprocessing
+// scheduler comparison on a compute-bound epoch with a skewed heavy/light
+// cost mix — per-worker work-stealing deques against static FIFO assignment,
+// same shuffled stream — and writes a JSON report with epoch times,
+// per-worker stall fractions, and steal counts (the contents of
+// BENCH_pr9.json).
+//
 // With -chaos.seed the command instead runs the deterministic chaos soak: a
 // trainer over a fault-injected sharded storage tier, checked against a
 // fault-free reference for bit-identical artifacts and exact failure
@@ -245,6 +252,12 @@ func main() {
 	prefetchSamples := flag.Int("prefetch.samples", 8000, "samples in the prefetch comparison epoch")
 	prefetchShards := flag.Int("prefetch.shards", 8, "storage shards in the prefetch comparison")
 	prefetchDepth := flag.Int("prefetch.depth", 16, "per-shard lookahead depth for the clairvoyant run")
+	prepschedOut := flag.String("prepsched", "", "run the work-stealing-vs-FIFO preprocessing scheduler comparison and write the JSON report to this file (skips the evaluation)")
+	prepschedSamples := flag.Int("prepsched.samples", 2000, "samples in the prepsched comparison epoch")
+	prepschedWorkers := flag.Int("prepsched.workers", 8, "preprocessing workers (and compute cores) in the prepsched comparison")
+	prepschedHeavyFrac := flag.Float64("prepsched.heavyfrac", 0.05, "fraction of samples made heavy in the skewed mix")
+	prepschedCostRatio := flag.Int("prepsched.costratio", 20, "preprocessing cost multiplier for heavy samples")
+	prepschedThreshold := flag.Float64("prepsched.threshold", 0, "heavy classification threshold as a multiple of the mean cost (0 = default)")
 	fleetOut := flag.String("fleet", "", "run the 100-job fleet scenario (coordinated vs independent planning on a shared tier) and write the JSON report to this file (skips the evaluation)")
 	loadOut := flag.String("load", "", "run the heavy-traffic load harness (steady + overload scenarios) and write the SLO record to this file (skips the evaluation)")
 	loadSessions := flag.Int("load.sessions", 2400, "total concurrent sessions across the load tenants")
@@ -265,13 +278,21 @@ func main() {
 		map[string]bool{
 			"load.sessions": true, "load.shards": true, "load.cores": true,
 			"prefetch.samples": true, "prefetch.shards": true, "prefetch.depth": true,
+			"prepsched.samples": true, "prepsched.workers": true, "prepsched.costratio": true,
 		},
 		map[string]bool{"openimages": true, "imagenet": true},
 		map[string]int{
 			"load.sessions": *loadSessions, "load.shards": *loadShards, "load.cores": *loadCores,
 			"openimages": *openImages, "imagenet": *imageNet,
 			"prefetch.samples": *prefetchSamples, "prefetch.shards": *prefetchShards, "prefetch.depth": *prefetchDepth,
+			"prepsched.samples": *prepschedSamples, "prepsched.workers": *prepschedWorkers, "prepsched.costratio": *prepschedCostRatio,
 		})
+	if *prepschedHeavyFrac <= 0 || *prepschedHeavyFrac >= 1 {
+		logger.Fatalf("-prepsched.heavyfrac must be in (0, 1), got %g", *prepschedHeavyFrac)
+	}
+	if *prepschedThreshold < 0 {
+		logger.Fatalf("-prepsched.threshold must be non-negative, got %g", *prepschedThreshold)
+	}
 
 	if *loadOut != "" {
 		opt := loadOptions{
@@ -315,6 +336,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "sophon-bench: fleet scenario written to %s\n", *fleetOut)
+		return
+	}
+
+	if *prepschedOut != "" {
+		opt := prepschedOptions{
+			samples:   *prepschedSamples,
+			workers:   *prepschedWorkers,
+			heavyFrac: *prepschedHeavyFrac,
+			costRatio: *prepschedCostRatio,
+			threshold: *prepschedThreshold,
+		}
+		if err := writePrepschedJSON(*prepschedOut, *seed, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "sophon-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "sophon-bench: prepsched comparison written to %s\n", *prepschedOut)
 		return
 	}
 

@@ -14,6 +14,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cliutil"
@@ -25,10 +26,20 @@ import (
 	"repro/internal/persist"
 	"repro/internal/pipeline"
 	"repro/internal/policy"
+	"repro/internal/prepsched"
 	"repro/internal/profiler"
 	"repro/internal/storage"
 	"repro/internal/trainsim"
 )
+
+// liveClassifier is the late-bound variance-aware classifier: the trainer is
+// constructed before the stage-2 trace exists, so its Classify hook reads
+// this pointer — nil (everything light) through the profiling epoch, then
+// the trace-derived classifier for the trained epochs.
+type liveClassifier struct {
+	cl *prepsched.Classifier
+	tr *dataset.Trace
+}
 
 func pickPolicy(name string) (policy.Policy, error) {
 	switch strings.ToLower(name) {
@@ -78,6 +89,8 @@ func main() {
 	adaptive := flag.Bool("adaptive", false, "adaptive control plane: re-probe the link each epoch and replan on drift (sophon policies only)")
 	driftThreshold := flag.Float64("drift-threshold", 0, "relative change that counts as drift (0 = default 0.2)")
 	driftHysteresis := flag.Int("drift-hysteresis", 0, "consecutive drifted epochs before replanning (0 = default 2)")
+	varianceAware := flag.Bool("variance-aware", false, "variance-aware preprocessing: classify samples heavy/light from the stage-2 profile and run epochs under per-worker work-stealing deques (needs -lookahead)")
+	heavyThreshold := flag.Float64("heavy-threshold", 0, "heavy classification threshold as a multiple of the mean per-sample preprocessing cost (0 = default 4x; needs -variance-aware)")
 	cliutil.Parse("sophon-train", "Profiles, plans, and trains against a running sophon-server under an offload policy.")
 
 	logger := log.New(os.Stderr, "sophon-train: ", log.LstdFlags)
@@ -92,6 +105,20 @@ func main() {
 		})
 	if *stagingBytes < 0 {
 		logger.Fatalf("-staging-bytes must be >= 0, got %d", *stagingBytes)
+	}
+	if *heavyThreshold < 0 {
+		logger.Fatalf("-heavy-threshold must be >= 0, got %g", *heavyThreshold)
+	}
+	if *heavyThreshold > 0 && !*varianceAware {
+		logger.Fatal("-heavy-threshold needs -variance-aware")
+	}
+	if *varianceAware {
+		if *lookahead <= 0 {
+			logger.Fatal("-variance-aware needs -lookahead: the work-stealing dispatcher rides the clairvoyant stream")
+		}
+		if *planFile != "" {
+			logger.Fatal("-variance-aware needs the profiling path: classification comes from the stage-2 trace, which -plan-file skips")
+		}
 	}
 
 	model, err := gpu.ByName(*modelName)
@@ -132,6 +159,18 @@ func main() {
 		logger.Printf("fan-out client over %d shards (degraded=%v)", nShards, *degraded)
 	}
 
+	var live atomic.Pointer[liveClassifier]
+	var classify func(sample int) prepsched.Class
+	if *varianceAware {
+		classify = func(sample int) prepsched.Class {
+			lc := live.Load()
+			if lc == nil || sample >= lc.tr.N() {
+				return prepsched.Light
+			}
+			return lc.cl.Classify(lc.tr.Records[sample].TotalTime())
+		}
+	}
+
 	trainer, err := trainsim.New(trainsim.Config{
 		DialClient:       dial,
 		Workers:          *workers,
@@ -147,6 +186,8 @@ func main() {
 		LookaheadHorizon: *lookaheadHorizon,
 		StagingBytes:     *stagingBytes,
 		DegradedMode:     *degraded,
+		VarianceAware:    *varianceAware,
+		Classify:         classify,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -207,6 +248,15 @@ func main() {
 		}
 		logger.Printf("stage-2 trace written to %s", *dumpTrace)
 	}
+	if *varianceAware {
+		cl, err := prepsched.FromTrace(trace, *heavyThreshold)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		live.Store(&liveClassifier{cl: cl, tr: trace})
+		logger.Printf("variance-aware: heavy above %v (%.1f%% of the profile)",
+			cl.Threshold().Round(time.Microsecond), 100*cl.BaselineHeavyFrac())
+	}
 
 	env := policy.Env{
 		Bandwidth:       netsim.Mbps(*mbps),
@@ -224,7 +274,8 @@ func main() {
 			logger.Fatalf("-adaptive requires a sophon policy, got %s", pol.Name())
 		}
 		runAdaptive(logger, trainer, &core.Framework{Engine: s}, trace, env, *epochs, *batch,
-			profiler.DriftConfig{RelThreshold: *driftThreshold, Hysteresis: *driftHysteresis})
+			profiler.DriftConfig{RelThreshold: *driftThreshold, Hysteresis: *driftHysteresis},
+			*heavyThreshold, *varianceAware)
 		return
 	}
 
@@ -256,11 +307,14 @@ func main() {
 
 // runAdaptive closes the control loop on the live trainer: each epoch runs
 // under the controller's current snapshot, a serial fetch probe re-measures
-// the link, and drift replans at the next boundary.
+// the link, and drift replans at the next boundary. Under variance-aware
+// mode the observed heavy/light mix is folded in alongside the bandwidth, so
+// a mid-training skew flip replans too ("mix-drift").
 func runAdaptive(logger *log.Logger, trainer *trainsim.Trainer, fw *core.Framework,
-	trace *dataset.Trace, env policy.Env, epochs, batch int, drift profiler.DriftConfig) {
+	trace *dataset.Trace, env policy.Env, epochs, batch int, drift profiler.DriftConfig,
+	heavyRatio float64, mix bool) {
 	ctrl, err := core.NewController(core.ControllerConfig{
-		Framework: fw, Trace: trace, Env: env, Drift: drift,
+		Framework: fw, Trace: trace, Env: env, Drift: drift, HeavyRatio: heavyRatio,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -282,7 +336,11 @@ func runAdaptive(logger *log.Logger, trainer *trainsim.Trainer, fw *core.Framewo
 		if err != nil {
 			logger.Fatal(err)
 		}
-		next, drifts, err := ctrl.ObserveEpoch(profiler.EpochSample{Epoch: uint64(e), Bandwidth: bw})
+		sample := profiler.EpochSample{Epoch: uint64(e), Bandwidth: bw}
+		if mix {
+			sample.MixHeavy, sample.MixTotal = rep.Heavy, rep.Samples
+		}
+		next, drifts, err := ctrl.ObserveEpoch(sample)
 		if err != nil {
 			logger.Fatal(err)
 		}

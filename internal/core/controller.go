@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/policy"
+	"repro/internal/prepsched"
 	"repro/internal/profiler"
 	"repro/internal/simclock"
 )
@@ -78,6 +79,11 @@ type ControllerConfig struct {
 	Clock simclock.Clock
 	// MaxHistory bounds the replan history (0 → DefaultMaxHistory).
 	MaxHistory int
+	// HeavyRatio is the variance-aware classifier's threshold as a multiple
+	// of the trace's mean preprocessing cost (0 → prepsched's default). The
+	// controller uses it to anchor the drift detector's mix track to the
+	// trace's plan-time heavy fraction.
+	HeavyRatio float64
 }
 
 // NewController computes the initial plan (version 1, reason "initial") and
@@ -131,6 +137,14 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 		decision:   d,
 	}
 	c.rebaseLocked(d)
+	// Anchor the mix track to the profile's own heavy fraction: the plan was
+	// computed over this trace, so its heavy/light mix is the plan-time
+	// baseline a mid-training skew flip drifts from.
+	if cl, err := prepsched.FromTrace(cfg.Trace, cfg.HeavyRatio); err == nil {
+		tel.RebaseMix(cl.BaselineHeavyFrac())
+	} else if cfg.HeavyRatio != 0 {
+		return nil, fmt.Errorf("core: heavy ratio: %w", err)
+	}
 	c.history = append(c.history, ReplanEvent{
 		Version: 1, Epoch: 1, Reason: "initial",
 		Bandwidth: cfg.Env.Bandwidth, At: clock.Now(),
@@ -151,6 +165,11 @@ func (c *Controller) rebaseLocked(d Decision) {
 		opTime = c.trace.TotalPreprocessCPU() / time.Duration(n)
 	}
 	c.tel.Rebase(c.env.Bandwidth, occ, opTime)
+	// The replanned plan was computed in full knowledge of the observed mix,
+	// so adopt it as the new baseline — a persistent skew flip replans once,
+	// not every epoch. A no-op before the first mix observation (the initial
+	// plan's baseline comes from RebaseMix over the trace instead).
+	c.tel.AdoptMixBaseline()
 }
 
 // Current implements policy.PlanProvider.

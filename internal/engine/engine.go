@@ -18,6 +18,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/policy"
+	"repro/internal/prepsched"
 )
 
 // Config describes one epoch simulation.
@@ -64,7 +65,57 @@ type Config struct {
 	// checked at issue time, so overshoot is bounded by in-flight work;
 	// the consumption cursor's own fetch is always admitted.
 	StagingBudgetBytes int64
+
+	// PrepSched selects the local-preprocessing service model. The default,
+	// PrepSchedShared, is the historical earliest-free shared pool of
+	// Env.ComputeCores. PrepSchedFIFO statically assigns stream position i to
+	// worker i%W (each worker a single-core FIFO queue — the head-of-line
+	// blocking a real per-worker loader exhibits); PrepSchedSteal is the
+	// work-conserving variance-aware model: a sample runs on its home worker
+	// unless another worker frees up earlier, which counts as a steal.
+	PrepSched PrepSchedModel
+	// PrepWorkers is the per-worker model's worker count; 0 means
+	// Env.ComputeCores. PrepSched≠Shared only (ErrPrepSchedConfig).
+	PrepWorkers int
+	// HeavyRatio is the heavy-classification threshold as a multiple of the
+	// trace's mean preprocessing cost (prepsched.DefaultHeavyRatio when 0) —
+	// it only affects Result.HeavySamples accounting, not scheduling.
+	// PrepSched≠Shared only (ErrPrepSchedConfig).
+	HeavyRatio float64
 }
+
+// PrepSchedModel names a local-preprocessing service model.
+type PrepSchedModel int
+
+// Local preprocessing service models.
+const (
+	// PrepSchedShared is the historical earliest-free shared core pool.
+	PrepSchedShared PrepSchedModel = iota
+	// PrepSchedFIFO pins stream position i to worker i%W, FIFO per worker.
+	PrepSchedFIFO
+	// PrepSchedSteal lets an idle worker take a queued sample from a busy
+	// one: each sample starts on whichever worker frees up first, its home
+	// worker preferred on ties.
+	PrepSchedSteal
+)
+
+// String names the model for reports.
+func (m PrepSchedModel) String() string {
+	switch m {
+	case PrepSchedShared:
+		return "shared"
+	case PrepSchedFIFO:
+		return "fifo"
+	case PrepSchedSteal:
+		return "steal"
+	default:
+		return fmt.Sprintf("prepsched(%d)", int(m))
+	}
+}
+
+// ErrPrepSchedConfig marks contradictory preprocessing-scheduler knobs:
+// an unknown PrepSched model, or per-worker knobs set under the shared pool.
+var ErrPrepSchedConfig = errors.New("engine: prepsched knobs conflict")
 
 // ErrLookaheadConfig marks contradictory loader knobs: a clairvoyant
 // lookahead combined with a reactive prefetch window, or lookahead-only
@@ -98,6 +149,22 @@ type Result struct {
 	// LinkIdleFrac is the mean per-link idle fraction of the epoch:
 	// (Σ PerLinkIdle / K) / EpochTime.
 	LinkIdleFrac float64
+
+	// PerWorkerIdle is each preprocessing worker's stall time under the
+	// per-worker models (PrepSched ≠ Shared): prepMakespan − busy, where
+	// prepMakespan is the last local completion across all workers. A large
+	// value is a worker that ran dry while another worker's queue — heavy
+	// samples pinned behind the static assignment — still held the epoch
+	// open; the imbalance work-stealing removes.
+	PerWorkerIdle []time.Duration
+	// WorkerStallFrac is the mean per-worker stalled fraction of the
+	// preprocessing phase: (Σ PerWorkerIdle / W) / prepMakespan.
+	WorkerStallFrac float64
+	// Steals counts samples PrepSchedSteal ran away from their home worker.
+	Steals int
+	// HeavySamples counts trace records classified heavy at HeavyRatio ×
+	// mean cost (0 under PrepSchedShared).
+	HeavySamples int
 }
 
 // multiServer models a k-server FIFO resource by tracking per-server free
@@ -120,6 +187,56 @@ func (h *timeHeap) Pop() interface{} {
 	v := old[n-1]
 	*h = old[:n-1]
 	return v
+}
+
+// prepWorkers models W single-core preprocessing workers individually —
+// unlike multiServer's earliest-free pool, each worker has its own queue, so
+// head-of-line blocking (FIFO) and its removal (steal) are visible per
+// worker.
+type prepWorkers struct {
+	free, busy, last []time.Duration
+}
+
+func newPrepWorkers(w int) *prepWorkers {
+	return &prepWorkers{
+		free: make([]time.Duration, w),
+		busy: make([]time.Duration, w),
+		last: make([]time.Duration, w),
+	}
+}
+
+// schedule runs stream position i's local suffix arriving at arrival. Under
+// FIFO the sample queues on its home worker i%W no matter how backed up it
+// is; under steal it runs on whichever worker starts it earliest, the home
+// worker preferred on ties (so an idle home never counts as a steal).
+// Reports the completion time and whether the sample was stolen.
+func (p *prepWorkers) schedule(i int, arrival, dur time.Duration, steal bool) (time.Duration, bool) {
+	home := i % len(p.free)
+	w := home
+	if steal {
+		best := p.free[home]
+		if arrival > best {
+			best = arrival
+		}
+		for j := range p.free {
+			start := p.free[j]
+			if arrival > start {
+				start = arrival
+			}
+			if start < best {
+				best, w = start, j
+			}
+		}
+	}
+	start := p.free[w]
+	if arrival > start {
+		start = arrival
+	}
+	end := start + dur
+	p.free[w] = end
+	p.busy[w] += dur
+	p.last[w] = end
+	return end, w != home
 }
 
 func newMultiServer(servers int) *multiServer {
@@ -181,6 +298,21 @@ func Run(cfg Config) (Result, error) {
 	if cfg.LookaheadHorizon > 0 && cfg.LookaheadHorizon < batch {
 		return Result{}, fmt.Errorf("engine: lookahead horizon %d < batch %d", cfg.LookaheadHorizon, batch)
 	}
+	switch cfg.PrepSched {
+	case PrepSchedShared:
+		if cfg.PrepWorkers != 0 || cfg.HeavyRatio != 0 {
+			return Result{}, fmt.Errorf("%w: PrepWorkers %d / HeavyRatio %v under the shared pool", ErrPrepSchedConfig, cfg.PrepWorkers, cfg.HeavyRatio)
+		}
+	case PrepSchedFIFO, PrepSchedSteal:
+		if cfg.PrepWorkers < 0 {
+			return Result{}, fmt.Errorf("engine: prep workers %d", cfg.PrepWorkers)
+		}
+		if cfg.HeavyRatio < 0 {
+			return Result{}, fmt.Errorf("engine: heavy ratio %v", cfg.HeavyRatio)
+		}
+	default:
+		return Result{}, fmt.Errorf("%w: unknown model %d", ErrPrepSchedConfig, int(cfg.PrepSched))
+	}
 	window := cfg.PrefetchWindow
 	if cfg.Lookahead == 0 {
 		if window == 0 {
@@ -231,6 +363,23 @@ func Run(cfg Config) (Result, error) {
 	}
 	computePool := newMultiServer(cfg.Env.ComputeCores)
 	gpuPool := newMultiServer(cfg.Env.GPUs())
+
+	// Per-worker preprocessing model (FIFO or steal) plus a cost classifier
+	// for the heavy-sample accounting.
+	var prep *prepWorkers
+	var classifier *prepsched.Classifier
+	heavySamples, steals := 0, 0
+	if cfg.PrepSched != PrepSchedShared {
+		workers := cfg.PrepWorkers
+		if workers == 0 {
+			workers = cfg.Env.ComputeCores
+		}
+		prep = newPrepWorkers(workers)
+		classifier, err = prepsched.FromTrace(cfg.Trace, cfg.HeavyRatio)
+		if err != nil {
+			return Result{}, err
+		}
+	}
 
 	// consumed[i] is when sample i's batch left the GPU; the loader may
 	// only hold `window` samples in flight.
@@ -342,9 +491,20 @@ func Run(cfg Config) (Result, error) {
 			shardEnds[shard] = append(shardEnds[shard], t)
 		}
 
-		// Local suffix on the compute pool.
+		// Local suffix on the compute pool (or the per-worker model).
 		suffix := rec.TotalTime() - rec.PrefixTime(split)
-		if suffix > 0 {
+		if prep != nil {
+			if classifier.Class(rec.TotalTime()) == prepsched.Heavy {
+				heavySamples++
+			}
+			if suffix > 0 {
+				var stole bool
+				t, stole = prep.schedule(i, t, suffix, cfg.PrepSched == PrepSchedSteal)
+				if stole {
+					steals++
+				}
+			}
+		} else if suffix > 0 {
 			t = computePool.schedule(t, suffix)
 		}
 
@@ -373,6 +533,27 @@ func Run(cfg Config) (Result, error) {
 		idleSum += res.PerLinkIdle[s]
 		if storagePools[s] != nil {
 			res.StorageBusy += storagePools[s].busy
+		}
+	}
+	if prep != nil {
+		res.PerWorkerIdle = make([]time.Duration, len(prep.free))
+		var makespan time.Duration
+		for w := range prep.free {
+			if prep.last[w] > makespan {
+				makespan = prep.last[w]
+			}
+		}
+		var workerIdle time.Duration
+		res.ComputeBusy = 0
+		for w := range prep.free {
+			res.ComputeBusy += prep.busy[w]
+			res.PerWorkerIdle[w] = makespan - prep.busy[w]
+			workerIdle += res.PerWorkerIdle[w]
+		}
+		res.Steals = steals
+		res.HeavySamples = heavySamples
+		if makespan > 0 {
+			res.WorkerStallFrac = float64(workerIdle) / float64(len(prep.free)) / float64(makespan)
 		}
 	}
 	if res.EpochTime > 0 {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/prefetch"
+	"repro/internal/prepsched"
 	"repro/internal/profiler"
 	"repro/internal/sched"
 	"repro/internal/simclock"
@@ -71,6 +72,7 @@ type Server struct {
 	admission AdmissionView
 	prefetch  PrefetchView
 	staging   StagingView
+	prepsched PrepschedView
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -148,17 +150,18 @@ type statsSnapshot struct {
 	PlanRegressions uint64 `json:"plan_regressions"`
 	// ShedLoad sums requests every watched server rejected with a
 	// retry-after because admission was saturated.
-	ShedLoad     uint64                    `json:"shed_load"`
-	Admission    *storage.AdmissionStats   `json:"admission,omitempty"`
-	Prefetch     *prefetch.MetricsSnapshot `json:"prefetch,omitempty"`
-	Staging      *cache.StagingSnapshot    `json:"staging,omitempty"`
-	ControlPlane *controlPlaneSnapshot     `json:"control_plane,omitempty"`
-	Fleet        *sched.FleetStatus        `json:"fleet,omitempty"`
-	SharedCache  *cache.SharedSnapshot     `json:"shared_cache,omitempty"`
-	PerServer    []serverSnapshot          `json:"per_server,omitempty"`
-	Counters     map[string]int64          `json:"counters,omitempty"`
-	Gauges       map[string]int64          `json:"gauges,omitempty"`
-	Histograms   map[string]hStats         `json:"histograms,omitempty"`
+	ShedLoad     uint64                     `json:"shed_load"`
+	Admission    *storage.AdmissionStats    `json:"admission,omitempty"`
+	Prefetch     *prefetch.MetricsSnapshot  `json:"prefetch,omitempty"`
+	Staging      *cache.StagingSnapshot     `json:"staging,omitempty"`
+	Prepsched    *prepsched.MetricsSnapshot `json:"prepsched,omitempty"`
+	ControlPlane *controlPlaneSnapshot      `json:"control_plane,omitempty"`
+	Fleet        *sched.FleetStatus         `json:"fleet,omitempty"`
+	SharedCache  *cache.SharedSnapshot      `json:"shared_cache,omitempty"`
+	PerServer    []serverSnapshot           `json:"per_server,omitempty"`
+	Counters     map[string]int64           `json:"counters,omitempty"`
+	Gauges       map[string]int64           `json:"gauges,omitempty"`
+	Histograms   map[string]hStats          `json:"histograms,omitempty"`
 }
 
 // controlPlaneSnapshot is the adaptive controller's slice of /stats.
@@ -257,6 +260,10 @@ func (s *Server) snapshot() statsSnapshot {
 		st := s.staging.Snapshot()
 		out.Staging = &st
 	}
+	if s.prepsched != nil {
+		ps := s.prepsched.Snapshot()
+		out.Prepsched = &ps
+	}
 	if s.registry != nil {
 		snap := s.registry.Snapshot()
 		out.Counters = snap.Counters
@@ -312,6 +319,7 @@ func (s *Server) Handler() http.Handler {
 			fmt.Fprintf(w, "sophon_admission_shed_total %d\n", ad.Shed)
 		}
 		writePrefetchMetrics(w, snap.Prefetch, snap.Staging)
+		writePrepschedMetrics(w, snap.Prepsched)
 		if cp := snap.ControlPlane; cp != nil {
 			fmt.Fprintf(w, "sophon_control_plan_version %d\n", cp.PlanVersion)
 			fmt.Fprintf(w, "sophon_control_replans_total %d\n", cp.Replans)

@@ -1,0 +1,40 @@
+package monitor
+
+// The variance-aware preprocessing scheduler's observability surface:
+// WatchPrepsched attaches a trainer's prepsched counters, and /stats gains a
+// "prepsched" block while /metrics gains the sophon_prepsched_* gauge
+// family.
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/prepsched"
+)
+
+// PrepschedView is the variance-aware preprocessing scheduler's
+// observability surface. It is satisfied by *prepsched.Metrics.
+type PrepschedView interface {
+	Snapshot() prepsched.MetricsSnapshot
+}
+
+// WatchPrepsched attaches a trainer's prepsched metrics so /stats and
+// /metrics report the work-stealing pool's class/steal/stall counters; call
+// before serving.
+func (s *Server) WatchPrepsched(v PrepschedView) *Server {
+	s.prepsched = v
+	return s
+}
+
+// writePrepschedMetrics emits the sophon_prepsched_* family for /metrics.
+func writePrepschedMetrics(w io.Writer, ps *prepsched.MetricsSnapshot) {
+	if ps == nil {
+		return
+	}
+	fmt.Fprintf(w, "sophon_prepsched_light_total %d\n", ps.Light)
+	fmt.Fprintf(w, "sophon_prepsched_heavy_total %d\n", ps.Heavy)
+	fmt.Fprintf(w, "sophon_prepsched_own_pops_total %d\n", ps.OwnPops)
+	fmt.Fprintf(w, "sophon_prepsched_steals_total %d\n", ps.Steals)
+	fmt.Fprintf(w, "sophon_prepsched_stalls_total %d\n", ps.Stalls)
+	fmt.Fprintf(w, "sophon_prepsched_heavy_frac %g\n", ps.HeavyFrac)
+}

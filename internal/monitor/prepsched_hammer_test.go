@@ -1,0 +1,214 @@
+package monitor
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/prepsched"
+)
+
+// TestHammerScrapeDuringPrepschedChurn extends the hammer pattern to the
+// variance-aware scheduler: a real work-stealing pool churns under N worker
+// goroutines plus dedicated stealer-like consumers, the classifier's
+// threshold is retuned mid-flight while its class counters climb, and live
+// /stats + /metrics scrapes run through it all. Under `go test -race` any
+// unsynchronized read in the prepsched observability path fails here — and
+// the conservation check at the end proves the churn itself lost nothing.
+func TestHammerScrapeDuringPrepschedChurn(t *testing.T) {
+	const (
+		workers = 4
+		samples = 20000
+	)
+	var pm prepsched.Metrics
+	pool, err := prepsched.NewPool[int](workers, 4*workers, &pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean 100µs, default ratio 4 → threshold 400µs: the 2ms samples are
+	// heavy at the initial threshold and at every retuned one below.
+	cl, err := prepsched.NewClassifier([]time.Duration{
+		100 * time.Microsecond, 100 * time.Microsecond, 100 * time.Microsecond, 100 * time.Microsecond,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := NewMulti(nil)
+	m.WatchPrepsched(&pm)
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Workers: drain the pool (own pops + steals) until it closes.
+	var takenMu sync.Mutex
+	taken := make(map[int]struct{}, samples)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				v, _, ok := pool.Take(w)
+				if !ok {
+					return
+				}
+				takenMu.Lock()
+				if _, dup := taken[v]; dup {
+					t.Errorf("sample %d taken twice", v)
+				}
+				taken[v] = struct{}{}
+				takenMu.Unlock()
+			}
+		}(w)
+	}
+
+	// Dispatcher: classify through the live classifier (cost keyed off the
+	// sample) and push the full stream, then close the pool and stop the
+	// churn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		defer pool.Close()
+		for i := 0; i < samples; i++ {
+			cost := 100 * time.Microsecond
+			if i%19 == 0 {
+				cost = 2 * time.Millisecond
+			}
+			if !pool.Dispatch(i, i, cl.Classify(cost)) {
+				t.Errorf("dispatch %d rejected", i)
+				return
+			}
+		}
+	}()
+
+	// Classifier churn: an adaptive controller retuning the threshold while
+	// the dispatcher classifies against it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cl.SetThreshold(time.Duration(400+i%400) * time.Microsecond)
+			_ = cl.HeavyFrac()
+			_, _ = cl.Observed()
+		}
+	}()
+
+	// Scrapers: alternate /stats and /metrics over real HTTP until the
+	// stream drains. Every /stats body must stay parseable JSON.
+	scrape := func(path string) ([]byte, error) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		return io.ReadAll(resp.Body)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			path := "/stats"
+			if g%2 == 1 {
+				path = "/metrics"
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				body, err := scrape(path)
+				if err != nil {
+					t.Errorf("scrape %s: %v", path, err)
+					return
+				}
+				if path == "/stats" {
+					var snap statsSnapshot
+					if err := json.Unmarshal(body, &snap); err != nil {
+						t.Errorf("unmarshal /stats: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Conservation under churn: every dispatched sample came out exactly
+	// once, and the final scrape reflects the totals.
+	if len(taken) != samples {
+		t.Fatalf("took %d of %d dispatched samples", len(taken), samples)
+	}
+	body, err := scrape("/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap statsSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Prepsched == nil {
+		t.Fatal("final /stats has no prepsched block")
+	}
+	if snap.Prepsched.Light+snap.Prepsched.Heavy != samples {
+		t.Fatalf("final prepsched dispatch %d+%d, want %d", snap.Prepsched.Light, snap.Prepsched.Heavy, samples)
+	}
+	if snap.Prepsched.OwnPops+snap.Prepsched.Steals != samples {
+		t.Fatalf("final prepsched takes %d+%d, want %d", snap.Prepsched.OwnPops, snap.Prepsched.Steals, samples)
+	}
+	if snap.Prepsched.Heavy == 0 || snap.Prepsched.HeavyFrac <= 0 {
+		t.Fatalf("heavy lane never exercised: %+v", snap.Prepsched)
+	}
+	metricsBody, err := scrape("/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"sophon_prepsched_light_total ",
+		"sophon_prepsched_heavy_total ",
+		"sophon_prepsched_own_pops_total ",
+		"sophon_prepsched_steals_total ",
+		"sophon_prepsched_stalls_total ",
+		"sophon_prepsched_heavy_frac ",
+	} {
+		if !containsLine(metricsBody, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metricsBody)
+		}
+	}
+}
+
+func containsLine(body []byte, prefix string) bool {
+	for _, line := range splitLines(body) {
+		if len(line) >= len(prefix) && line[:len(prefix)] == prefix {
+			return true
+		}
+	}
+	return false
+}
+
+func splitLines(b []byte) []string {
+	var out []string
+	start := 0
+	for i, c := range b {
+		if c == '\n' {
+			out = append(out, string(b[start:i]))
+			start = i + 1
+		}
+	}
+	if start < len(b) {
+		out = append(out, string(b[start:]))
+	}
+	return out
+}

@@ -199,6 +199,15 @@ func ConvertBenchRecord(source string, data []byte) (TrajectoryEntry, error) {
 			EpochSeconds float64 `json:"epoch_seconds"`
 			LinkIdleFrac float64 `json:"link_idle_frac"`
 		} `json:"clairvoyant"`
+		PrepschedSpeedup *float64 `json:"prepsched_speedup"`
+		FIFO             struct {
+			EpochSeconds    float64 `json:"epoch_seconds"`
+			WorkerStallFrac float64 `json:"worker_stall_frac"`
+		} `json:"fifo"`
+		Steal struct {
+			EpochSeconds    float64 `json:"epoch_seconds"`
+			WorkerStallFrac float64 `json:"worker_stall_frac"`
+		} `json:"steal"`
 		Scenarios []SLOScenario `json:"scenarios"`
 	}
 	if err := json.Unmarshal(data, &probe); err != nil {
@@ -249,6 +258,12 @@ func ConvertBenchRecord(source string, data []byte) (TrajectoryEntry, error) {
 		e.Metrics["reactive/link_idle_frac"] = probe.Reactive.LinkIdleFrac
 		e.Metrics["clairvoyant/epoch_seconds"] = probe.Clairvoyant.EpochSeconds
 		e.Metrics["clairvoyant/link_idle_frac"] = probe.Clairvoyant.LinkIdleFrac
+	case probe.PrepschedSpeedup != nil: // BENCH_pr9: variance-aware prepsched
+		e.Metrics["prepsched_speedup"] = *probe.PrepschedSpeedup
+		e.Metrics["fifo/epoch_seconds"] = probe.FIFO.EpochSeconds
+		e.Metrics["fifo/worker_stall_frac"] = probe.FIFO.WorkerStallFrac
+		e.Metrics["steal/epoch_seconds"] = probe.Steal.EpochSeconds
+		e.Metrics["steal/worker_stall_frac"] = probe.Steal.WorkerStallFrac
 	default:
 		return TrajectoryEntry{}, fmt.Errorf("perfbench: convert %s: unrecognized record shape (kind %q)", source, probe.Kind)
 	}

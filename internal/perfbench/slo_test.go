@@ -137,6 +137,7 @@ func TestConvertBenchRecords(t *testing.T) {
 		{"../../BENCH_pr5.json", 5, "adaptive_vs_oracle"},
 		{"../../BENCH_pr6.json", 6, "coordinated_speedup"},
 		{"../../BENCH_pr8.json", 8, "prefetch_speedup"},
+		{"../../BENCH_pr9.json", 9, "prepsched_speedup"},
 		{"../../BENCH_alloc.json", 0, "imaging/Decode640x480/ns_per_op"},
 	}
 	for _, tc := range cases {
@@ -219,7 +220,7 @@ func TestIsBenchSuite(t *testing.T) {
 	if !IsBenchSuite(suite) {
 		t.Fatal("BENCH_alloc.json not detected as an alloc-suite record")
 	}
-	for _, f := range []string{"../../BENCH_pr5.json", "../../BENCH_pr7.json", "../../BENCH_pr8.json"} {
+	for _, f := range []string{"../../BENCH_pr5.json", "../../BENCH_pr7.json", "../../BENCH_pr8.json", "../../BENCH_pr9.json"} {
 		data, err := os.ReadFile(f)
 		if err != nil {
 			t.Fatal(err)

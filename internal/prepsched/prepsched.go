@@ -1,0 +1,162 @@
+// Package prepsched is the variance-aware preprocessing scheduler: it
+// classifies samples heavy or light from their profiled per-sample
+// preprocessing cost (internal/profiler stage 2) and schedules local
+// preprocessing over per-worker work-stealing deques, so light samples flow
+// around heavy ones instead of queueing behind them — the head-of-line
+// blocking MinatoLoader identifies as a first-order loss in real loaders.
+//
+// The scheduler never changes WHAT is computed, only WHEN: preprocessing is
+// deterministic in (job, epoch, sample) for a given cut, so artifact bytes
+// are bit-identical to FIFO scheduling no matter which worker runs a sample
+// or in what order. Only completion timing moves, which is the point — a
+// heavy decode overlaps the transfer and preprocessing of the staged samples
+// behind it instead of stalling them.
+//
+// The observed heavy/light mix feeds the adaptive control plane: the trainer
+// reports per-epoch class counts (EpochReport.Heavy) into the drift
+// detector's mix track (profiler.EpochSample.MixHeavy/MixTotal), so a
+// mid-training skew flip triggers a replan like any other environment drift.
+package prepsched
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// Class labels one sample's preprocessing weight.
+type Class uint8
+
+// Sample classes. Light is the zero value so an unclassified sample never
+// queues behind the heavy lane by accident.
+const (
+	Light Class = iota
+	Heavy
+)
+
+// String names the class for logs and metrics.
+func (c Class) String() string {
+	if c == Heavy {
+		return "heavy"
+	}
+	return "light"
+}
+
+// DefaultHeavyRatio is the classification threshold when a caller leaves the
+// ratio zero: a sample is heavy when its profiled preprocessing cost is at
+// least this multiple of the dataset's mean cost.
+const DefaultHeavyRatio = 4.0
+
+// Classifier maps per-sample preprocessing cost to a class against a fixed
+// threshold derived from the profiled cost distribution. Safe for concurrent
+// use: Classify is an atomic threshold read plus atomic class counters, so
+// loader workers and a monitor scraping HeavyFrac never race.
+type Classifier struct {
+	threshold atomic.Int64 // ns; cost >= threshold is heavy
+	baseline  float64      // heavy fraction of the profile it was built from
+	light     atomic.Int64
+	heavy     atomic.Int64
+}
+
+// NewClassifier derives the heavy threshold from a profiled per-sample cost
+// distribution: threshold = ratio × mean(costs), ratio 0 meaning
+// DefaultHeavyRatio. The returned classifier also remembers the profile's
+// own heavy fraction (BaselineHeavyFrac) — the mix baseline the drift
+// detector anchors to.
+func NewClassifier(costs []time.Duration, ratio float64) (*Classifier, error) {
+	if len(costs) == 0 {
+		return nil, errors.New("prepsched: classifier needs a non-empty cost profile")
+	}
+	if ratio == 0 {
+		ratio = DefaultHeavyRatio
+	}
+	if ratio <= 0 {
+		return nil, fmt.Errorf("prepsched: heavy ratio %v must be positive", ratio)
+	}
+	var sum time.Duration
+	for _, c := range costs {
+		if c < 0 {
+			return nil, fmt.Errorf("prepsched: negative sample cost %v", c)
+		}
+		sum += c
+	}
+	mean := float64(sum) / float64(len(costs))
+	threshold := int64(ratio * mean)
+	heavy := 0
+	for _, c := range costs {
+		if int64(c) >= threshold && threshold > 0 {
+			heavy++
+		}
+	}
+	cl := &Classifier{baseline: float64(heavy) / float64(len(costs))}
+	cl.threshold.Store(threshold)
+	return cl, nil
+}
+
+// FromTrace builds a classifier from a stage-2 trace, costing each sample at
+// its full profiled preprocessing time.
+func FromTrace(tr *dataset.Trace, ratio float64) (*Classifier, error) {
+	if tr == nil || tr.N() == 0 {
+		return nil, errors.New("prepsched: classifier needs a non-empty trace")
+	}
+	costs := make([]time.Duration, tr.N())
+	for i := range tr.Records {
+		costs[i] = tr.Records[i].TotalTime()
+	}
+	return NewClassifier(costs, ratio)
+}
+
+// Threshold returns the heavy cutoff.
+func (c *Classifier) Threshold() time.Duration {
+	return time.Duration(c.threshold.Load())
+}
+
+// SetThreshold replaces the heavy cutoff (an adaptive controller retuning
+// the classifier after a replan).
+func (c *Classifier) SetThreshold(d time.Duration) {
+	if d > 0 {
+		c.threshold.Store(int64(d))
+	}
+}
+
+// BaselineHeavyFrac is the heavy fraction of the cost profile the classifier
+// was built from — the plan-time mix the drift detector treats as baseline.
+func (c *Classifier) BaselineHeavyFrac() float64 { return c.baseline }
+
+// Classify maps one sample's profiled cost to its class and counts the
+// observation into the live mix.
+func (c *Classifier) Classify(cost time.Duration) Class {
+	cl := c.Class(cost)
+	if cl == Heavy {
+		c.heavy.Add(1)
+	} else {
+		c.light.Add(1)
+	}
+	return cl
+}
+
+// Class maps a cost to its class without recording an observation.
+func (c *Classifier) Class(cost time.Duration) Class {
+	if t := c.threshold.Load(); t > 0 && int64(cost) >= t {
+		return Heavy
+	}
+	return Light
+}
+
+// HeavyFrac returns the observed heavy fraction across all Classify calls
+// (0 before any observation).
+func (c *Classifier) HeavyFrac() float64 {
+	h, l := c.heavy.Load(), c.light.Load()
+	if h+l == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+l)
+}
+
+// Observed returns the raw observed class counts (heavy, light).
+func (c *Classifier) Observed() (heavy, light int64) {
+	return c.heavy.Load(), c.light.Load()
+}

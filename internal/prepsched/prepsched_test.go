@@ -1,0 +1,123 @@
+package prepsched
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+func TestClassifierThresholdFromProfile(t *testing.T) {
+	// Mean is 212.5µs; default ratio 4 puts the cutoff at 850µs, so only
+	// the 1ms outlier is heavy.
+	costs := []time.Duration{
+		100 * time.Microsecond, 100 * time.Microsecond, 100 * time.Microsecond,
+		100 * time.Microsecond, 100 * time.Microsecond, 100 * time.Microsecond,
+		100 * time.Microsecond, 1 * time.Millisecond,
+	}
+	cl, err := NewClassifier(costs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cl.Threshold(), 850*time.Microsecond; got != want {
+		t.Fatalf("threshold = %v, want %v", got, want)
+	}
+	if got, want := cl.BaselineHeavyFrac(), 1.0/8; got != want {
+		t.Fatalf("baseline heavy frac = %v, want %v", got, want)
+	}
+	if c := cl.Classify(100 * time.Microsecond); c != Light {
+		t.Fatalf("100µs classified %v, want light", c)
+	}
+	if c := cl.Classify(1 * time.Millisecond); c != Heavy {
+		t.Fatalf("1ms classified %v, want heavy", c)
+	}
+	if c := cl.Classify(850 * time.Microsecond); c != Heavy {
+		t.Fatalf("cost at the threshold classified %v, want heavy", c)
+	}
+	h, l := cl.Observed()
+	if h != 2 || l != 1 {
+		t.Fatalf("observed (heavy,light) = (%d,%d), want (2,1)", h, l)
+	}
+	if got, want := cl.HeavyFrac(), 2.0/3; got != want {
+		t.Fatalf("heavy frac = %v, want %v", got, want)
+	}
+}
+
+func TestClassifierErrors(t *testing.T) {
+	if _, err := NewClassifier(nil, 0); err == nil {
+		t.Fatal("empty profile accepted")
+	}
+	if _, err := NewClassifier([]time.Duration{time.Millisecond}, -1); err == nil {
+		t.Fatal("negative ratio accepted")
+	}
+	if _, err := NewClassifier([]time.Duration{-time.Millisecond}, 0); err == nil {
+		t.Fatal("negative cost accepted")
+	}
+	if _, err := FromTrace(nil, 0); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+}
+
+func TestClassifierSetThreshold(t *testing.T) {
+	cl, err := NewClassifier([]time.Duration{time.Millisecond}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.SetThreshold(2 * time.Millisecond)
+	if got := cl.Threshold(); got != 2*time.Millisecond {
+		t.Fatalf("threshold = %v after SetThreshold", got)
+	}
+	cl.SetThreshold(-1) // ignored
+	if got := cl.Threshold(); got != 2*time.Millisecond {
+		t.Fatalf("threshold = %v after invalid SetThreshold", got)
+	}
+	if c := cl.Class(3 * time.Millisecond); c != Heavy {
+		t.Fatalf("Class() = %v, want heavy", c)
+	}
+	if h, l := cl.Observed(); h != 0 || l != 0 {
+		t.Fatalf("Class() recorded an observation: (%d,%d)", h, l)
+	}
+}
+
+func TestClassifierFromTrace(t *testing.T) {
+	tr, err := dataset.GenerateTrace(dataset.OpenImages12G().ScaledTo(64), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := FromTrace(tr, 1) // threshold at the mean: both classes present
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Threshold() <= 0 {
+		t.Fatalf("threshold = %v, want > 0", cl.Threshold())
+	}
+	heavy := 0
+	for i := range tr.Records {
+		if cl.Class(tr.Records[i].TotalTime()) == Heavy {
+			heavy++
+		}
+	}
+	if heavy == 0 || heavy == tr.N() {
+		t.Fatalf("degenerate classification: %d/%d heavy at ratio 1", heavy, tr.N())
+	}
+	if got, want := cl.BaselineHeavyFrac(), float64(heavy)/float64(tr.N()); got != want {
+		t.Fatalf("baseline %v disagrees with recount %v", got, want)
+	}
+}
+
+func TestMetricsNilSafe(t *testing.T) {
+	var m *Metrics
+	m.noteDispatch(Heavy)
+	m.noteOwnPop()
+	m.noteSteal()
+	m.noteStall()
+	if s := m.Snapshot(); s != (MetricsSnapshot{}) {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Light.String() != "light" || Heavy.String() != "heavy" {
+		t.Fatalf("class names: %q %q", Light, Heavy)
+	}
+}

@@ -1,0 +1,119 @@
+package profiler
+
+import (
+	"testing"
+)
+
+func mixTelemetry(t *testing.T, cfg DriftConfig) *Telemetry {
+	t.Helper()
+	tel, err := NewTelemetry(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tel
+}
+
+func TestMixThresholdNormalization(t *testing.T) {
+	cfg, err := DriftConfig{}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MixThreshold != DefaultDriftMixThreshold {
+		t.Fatalf("default mix threshold %v", cfg.MixThreshold)
+	}
+	if _, err := (DriftConfig{MixThreshold: -0.1}).Normalized(); err == nil {
+		t.Fatal("negative mix threshold accepted")
+	}
+	if _, err := (DriftConfig{MixThreshold: 1.5}).Normalized(); err == nil {
+		t.Fatal("mix threshold > 1 accepted")
+	}
+}
+
+// TestMixDriftFromZeroBaseline: the reason the mix test is absolute — a plan
+// built on an all-light profile (baseline 0) must still detect a skew flip.
+// A relative threshold against 0 could never fire.
+func TestMixDriftFromZeroBaseline(t *testing.T) {
+	tel := mixTelemetry(t, DriftConfig{Alpha: 1, MixThreshold: 0.2, Hysteresis: 2})
+	tel.RebaseMix(0)
+
+	// Epoch 1: heavy mix appears; over threshold but under hysteresis.
+	if drifts := tel.ObserveEpoch(EpochSample{Epoch: 1, MixHeavy: 60, MixTotal: 100}); len(drifts) != 0 {
+		t.Fatalf("drift on first over-threshold epoch: %v", drifts)
+	}
+	// Epoch 2: sustained — the mix drift fires.
+	drifts := tel.ObserveEpoch(EpochSample{Epoch: 2, MixHeavy: 60, MixTotal: 100})
+	if len(drifts) != 1 || drifts[0].Kind != DriftMix {
+		t.Fatalf("drifts = %v, want one mix-drift", drifts)
+	}
+	if drifts[0].Baseline != 0 || drifts[0].Current != 0.6 {
+		t.Fatalf("mix drift %v, want 0→0.6", drifts[0])
+	}
+	if got := drifts[0].Kind.String(); got != "mix-drift" {
+		t.Fatalf("kind string %q", got)
+	}
+}
+
+func TestMixStreakResetsUnderThreshold(t *testing.T) {
+	tel := mixTelemetry(t, DriftConfig{Alpha: 1, MixThreshold: 0.2, Hysteresis: 2})
+	tel.RebaseMix(0.1)
+	tel.ObserveEpoch(EpochSample{Epoch: 1, MixHeavy: 50, MixTotal: 100}) // streak 1
+	tel.ObserveEpoch(EpochSample{Epoch: 2, MixHeavy: 10, MixTotal: 100}) // back in band
+	if s := tel.Snapshot(); s.MixStreak != 0 {
+		t.Fatalf("streak %d after in-band epoch", s.MixStreak)
+	}
+	// And a later excursion has to re-earn the hysteresis.
+	if drifts := tel.ObserveEpoch(EpochSample{Epoch: 3, MixHeavy: 50, MixTotal: 100}); len(drifts) != 0 {
+		t.Fatalf("drift without sustained streak: %v", drifts)
+	}
+}
+
+// TestAdoptMixBaseline: after a replan adopts the shifted mix, the same skew
+// no longer counts as drift — no replan storm under a persistent flip.
+func TestAdoptMixBaseline(t *testing.T) {
+	tel := mixTelemetry(t, DriftConfig{Alpha: 1, MixThreshold: 0.2, Hysteresis: 1})
+	tel.RebaseMix(0)
+	drifts := tel.ObserveEpoch(EpochSample{Epoch: 1, MixHeavy: 70, MixTotal: 100})
+	if len(drifts) != 1 {
+		t.Fatalf("drifts = %v, want the flip detected", drifts)
+	}
+	tel.AdoptMixBaseline()
+	if s := tel.Snapshot(); s.MixBaseline != 0.7 || s.MixStreak != 0 {
+		t.Fatalf("adopted baseline %v streak %d", s.MixBaseline, s.MixStreak)
+	}
+	if drifts := tel.ObserveEpoch(EpochSample{Epoch: 2, MixHeavy: 70, MixTotal: 100}); len(drifts) != 0 {
+		t.Fatalf("persistent flip re-triggered after adoption: %v", drifts)
+	}
+}
+
+func TestMixObservationGuards(t *testing.T) {
+	tel := mixTelemetry(t, DriftConfig{Alpha: 1, MixThreshold: 0.1, Hysteresis: 1})
+	tel.RebaseMix(0)
+	// Unmeasured or malformed mixes leave the track untouched.
+	tel.ObserveEpoch(EpochSample{Epoch: 1})
+	tel.ObserveEpoch(EpochSample{Epoch: 2, MixHeavy: 5, MixTotal: 0})
+	tel.ObserveEpoch(EpochSample{Epoch: 3, MixHeavy: 9, MixTotal: 4})
+	tel.ObserveEpoch(EpochSample{Epoch: 4, MixHeavy: -1, MixTotal: 4})
+	if s := tel.Snapshot(); s.MixHeavyFrac != 0 || s.MixStreak != 0 {
+		t.Fatalf("malformed mixes moved the track: %+v", s)
+	}
+	// AdoptMixBaseline before any observation is a no-op on the baseline.
+	tel2 := mixTelemetry(t, DriftConfig{})
+	tel2.RebaseMix(0.3)
+	tel2.AdoptMixBaseline()
+	if s := tel2.Snapshot(); s.MixBaseline != 0.3 {
+		t.Fatalf("unready adoption overwrote baseline: %v", s.MixBaseline)
+	}
+	// Negative rebase values are ignored; the streak still clears.
+	tel2.RebaseMix(-1)
+	if s := tel2.Snapshot(); s.MixBaseline != 0.3 {
+		t.Fatalf("negative rebase overwrote baseline: %v", s.MixBaseline)
+	}
+	// Rebase (plan publish) clears the mix streak as well.
+	tel3 := mixTelemetry(t, DriftConfig{Alpha: 1, MixThreshold: 0.1, Hysteresis: 3})
+	tel3.RebaseMix(0)
+	tel3.ObserveEpoch(EpochSample{Epoch: 1, MixHeavy: 50, MixTotal: 100})
+	tel3.Rebase(0, 0, 0)
+	if s := tel3.Snapshot(); s.MixStreak != 0 {
+		t.Fatalf("Rebase left mix streak %d", s.MixStreak)
+	}
+}

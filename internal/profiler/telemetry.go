@@ -71,6 +71,12 @@ type EpochSample struct {
 	// ShardsUp counts reachable shards out of Shards; Shards 0 means shard
 	// health was not measured this epoch.
 	ShardsUp, Shards int
+	// MixHeavy / MixTotal is the epoch's observed heavy/light preprocessing
+	// mix (the variance-aware scheduler's class counts — EpochReport.Heavy
+	// over Samples). MixTotal 0 means the mix was not measured this epoch.
+	// Unlike the other metrics, a measured heavy fraction of zero is a valid
+	// observation: an all-light epoch is exactly how a skew flip ends.
+	MixHeavy, MixTotal int
 }
 
 // DriftKind classifies what moved away from the plan's environment.
@@ -82,6 +88,7 @@ const (
 	DriftStorageCPU
 	DriftOpTime
 	DriftShard
+	DriftMix
 )
 
 // String names the drift kind; the controller uses it in replan reasons.
@@ -95,6 +102,8 @@ func (k DriftKind) String() string {
 		return "op-time-drift"
 	case DriftShard:
 		return "shard-change"
+	case DriftMix:
+		return "mix-drift"
 	default:
 		return fmt.Sprintf("drift(%d)", int(k))
 	}
@@ -130,6 +139,12 @@ type DriftConfig struct {
 	// must sustain before drift is signaled (0 → 2, 1 = signal on the
 	// first over-threshold epoch). Shard changes ignore hysteresis.
 	Hysteresis int
+	// MixThreshold is the ABSOLUTE heavy-fraction change versus baseline
+	// that counts as mix drift, e.g. 0.15 = fifteen percentage points
+	// (0 → DefaultDriftMixThreshold). Absolute, not relative, because the
+	// baseline mix is often 0 — a dataset with no heavy samples at plan
+	// time — and any relative measure against 0 is meaningless.
+	MixThreshold float64
 }
 
 // Defaults for DriftConfig zero fields.
@@ -137,6 +152,7 @@ const (
 	DefaultDriftAlpha        = 0.5
 	DefaultDriftRelThreshold = 0.2
 	DefaultDriftHysteresis   = 2
+	DefaultDriftMixThreshold = 0.15
 )
 
 // Normalized resolves zero fields to defaults.
@@ -158,6 +174,12 @@ func (c DriftConfig) Normalized() (DriftConfig, error) {
 	}
 	if c.Hysteresis < 1 {
 		return c, fmt.Errorf("profiler: hysteresis %d < 1", c.Hysteresis)
+	}
+	if c.MixThreshold == 0 {
+		c.MixThreshold = DefaultDriftMixThreshold
+	}
+	if c.MixThreshold < 0 || c.MixThreshold > 1 {
+		return c, fmt.Errorf("profiler: mix threshold %v outside (0, 1]", c.MixThreshold)
 	}
 	return c, nil
 }
@@ -201,6 +223,9 @@ type TelemetrySnapshot struct {
 	OpTimeStreak      int     `json:"op_time_streak"`
 	ShardsUp          int     `json:"shards_up"`
 	Shards            int     `json:"shards"`
+	MixHeavyFrac      float64 `json:"mix_heavy_frac"`
+	MixBaseline       float64 `json:"mix_baseline"`
+	MixStreak         int     `json:"mix_streak"`
 }
 
 // Telemetry accumulates the per-epoch measurement stream and detects drift
@@ -215,6 +240,13 @@ type Telemetry struct {
 	shardsUp  int // -1 until first measured
 	shards    int
 	epochs    uint64
+	// The heavy/light mix track. It cannot share metricTrack: its drift
+	// test is absolute (a 0 baseline is legitimate) and its baseline is set
+	// explicitly, not inferred from positivity.
+	mix          *EWMA
+	mixBaseline  float64
+	mixBaselined bool
+	mixStreak    int
 }
 
 // NewTelemetry builds a telemetry stream with cfg (zero fields default).
@@ -238,6 +270,11 @@ func NewTelemetry(cfg DriftConfig) (*Telemetry, error) {
 		}
 		*m.track = metricTrack{kind: m.kind, ewma: e}
 	}
+	mixEWMA, err := NewEWMA(cfg.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	t.mix = mixEWMA
 	return t, nil
 }
 
@@ -251,6 +288,7 @@ func (t *Telemetry) Rebase(bandwidth, occupancy float64, opTime time.Duration) {
 	for _, m := range []*metricTrack{&t.bandwidth, &t.occupancy, &t.opTime} {
 		m.streak = 0
 	}
+	t.mixStreak = 0
 	if bandwidth > 0 {
 		t.bandwidth.baseline = bandwidth
 	}
@@ -259,6 +297,36 @@ func (t *Telemetry) Rebase(bandwidth, occupancy float64, opTime time.Duration) {
 	}
 	if opTime > 0 {
 		t.opTime.baseline = opTime.Seconds()
+	}
+}
+
+// RebaseMix anchors the mix drift track to an explicit plan-time heavy
+// fraction (the classifier's BaselineHeavyFrac), clearing the streak. A
+// fraction of 0 is a real baseline — a profile with no heavy samples —
+// so unlike Rebase only a negative value is ignored.
+func (t *Telemetry) RebaseMix(frac float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.mixStreak = 0
+	if frac < 0 || math.IsNaN(frac) {
+		return
+	}
+	t.mixBaseline = frac
+	t.mixBaselined = true
+}
+
+// AdoptMixBaseline rebases the mix track onto the currently observed
+// smoothed mix (no-op before any mix observation). The controller calls
+// this when it replans: the new plan was computed in full knowledge of the
+// shifted mix, so drift is measured against the mix as adopted — otherwise
+// a persistent skew flip would re-trigger a replan every epoch forever.
+func (t *Telemetry) AdoptMixBaseline() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.mixStreak = 0
+	if t.mix.Ready() {
+		t.mixBaseline = t.mix.Value()
+		t.mixBaselined = true
 	}
 }
 
@@ -288,6 +356,25 @@ func (t *Telemetry) ObserveEpoch(s EpochSample) []Drift {
 	note(&t.bandwidth, s.Bandwidth)
 	note(&t.occupancy, s.StorageOccupancy)
 	note(&t.opTime, s.OpTime.Seconds())
+
+	if s.MixTotal > 0 && s.MixHeavy >= 0 && s.MixHeavy <= s.MixTotal {
+		t.mix.Observe(float64(s.MixHeavy) / float64(s.MixTotal))
+		if t.mixBaselined {
+			if math.Abs(t.mix.Value()-t.mixBaseline) < t.cfg.MixThreshold {
+				t.mixStreak = 0
+			} else {
+				t.mixStreak++
+				if t.mixStreak >= t.cfg.Hysteresis {
+					out = append(out, Drift{
+						Kind:     DriftMix,
+						Epoch:    s.Epoch,
+						Baseline: t.mixBaseline,
+						Current:  t.mix.Value(),
+					})
+				}
+			}
+		}
+	}
 
 	if s.Shards > 0 {
 		if t.shardsUp >= 0 && s.ShardsUp != t.shardsUp {
@@ -361,5 +448,8 @@ func (t *Telemetry) Snapshot() TelemetrySnapshot {
 		OpTimeStreak:      t.opTime.streak,
 		ShardsUp:          up,
 		Shards:            t.shards,
+		MixHeavyFrac:      t.mix.Value(),
+		MixBaseline:       t.mixBaseline,
+		MixStreak:         t.mixStreak,
 	}
 }

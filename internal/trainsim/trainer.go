@@ -20,6 +20,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/policy"
 	"repro/internal/prefetch"
+	"repro/internal/prepsched"
 	"repro/internal/profiler"
 	"repro/internal/simclock"
 	"repro/internal/storage"
@@ -76,6 +77,23 @@ type Config struct {
 	// monitor's sophon_prefetch_* block); nil means a private Metrics,
 	// still readable via Trainer.PrefetchMetrics.
 	PrefetchMetrics *prefetch.Metrics
+	// VarianceAware switches local preprocessing from FIFO worker handoff to
+	// the variance-aware scheduler (internal/prepsched): delivered stream
+	// entries are classified heavy/light by Classify and spread over
+	// per-worker work-stealing deques, so light samples flow around heavy
+	// ones instead of queueing behind them. Output artifacts stay
+	// bit-identical to FIFO scheduling — preprocessing is deterministic in
+	// (job, epoch, sample) per cut, so only completion timing changes.
+	// Requires Lookahead > 0 and a Classify function.
+	VarianceAware bool
+	// Classify maps a sample index to its preprocessing class, typically a
+	// prepsched.Classifier closure over the stage-2 cost trace.
+	// VarianceAware-mode only.
+	Classify func(sample int) prepsched.Class
+	// PrepMetrics receives the variance-aware scheduler's instrumentation
+	// (the monitor's sophon_prepsched_* block); nil means a private Metrics,
+	// still readable via Trainer.PrepMetrics. VarianceAware-mode only.
+	PrepMetrics *prepsched.Metrics
 	// ComputeCores bounds concurrent local preprocessing; 0 means Workers.
 	ComputeCores int
 	// Pipeline is the preprocessing pipeline (must match the server's).
@@ -115,6 +133,12 @@ const DefaultStagingBytes = 64 << 20
 // lookahead-only knobs require Lookahead > 0.
 var ErrPrefetchConfig = errors.New("trainsim: conflicting prefetch config")
 
+// ErrPrepschedConfig reports conflicting variance-aware scheduler knobs:
+// VarianceAware requires the lookahead stream (the dispatcher classifies
+// entries in stream order) and a Classify function, and the prepsched-only
+// knobs require VarianceAware.
+var ErrPrepschedConfig = errors.New("trainsim: conflicting prepsched config")
+
 // Trainer runs training epochs against a storage server.
 type Trainer struct {
 	cfg    Config
@@ -126,6 +150,7 @@ type Trainer struct {
 	// can rotate mid-epoch via ApplySnapshot without restarting the stream.
 	snap atomic.Pointer[policy.PlanSnapshot]
 	pf   *prefetch.Metrics
+	ps   *prepsched.Metrics
 }
 
 // EpochReport summarizes one epoch.
@@ -142,6 +167,10 @@ type EpochReport struct {
 	// Failed counts samples skipped in DegradedMode (fetches that kept
 	// failing after the retry layer gave up, e.g. on a dead shard).
 	Failed int
+	// Heavy counts successfully processed samples the variance-aware
+	// scheduler classified heavy (0 outside VarianceAware mode). The count
+	// is order-independent, so it is deterministic for a given seed.
+	Heavy int
 	// PlanVersion is the control-plane version the epoch ran under (0 when
 	// the epoch was driven by RunEpoch with a bare plan).
 	PlanVersion policy.PlanVersion
@@ -215,9 +244,27 @@ func New(cfg Config) (*Trainer, error) {
 	if cfg.StagingBytes == 0 {
 		cfg.StagingBytes = DefaultStagingBytes
 	}
-	t := &Trainer{cfg: cfg, pf: cfg.PrefetchMetrics}
+	if cfg.VarianceAware {
+		if cfg.Lookahead == 0 {
+			return nil, fmt.Errorf("%w: VarianceAware without Lookahead (the dispatcher classifies the clairvoyant stream)", ErrPrepschedConfig)
+		}
+		if cfg.Classify == nil {
+			return nil, fmt.Errorf("%w: VarianceAware without a Classify function", ErrPrepschedConfig)
+		}
+	} else {
+		switch {
+		case cfg.Classify != nil:
+			return nil, fmt.Errorf("%w: Classify without VarianceAware", ErrPrepschedConfig)
+		case cfg.PrepMetrics != nil:
+			return nil, fmt.Errorf("%w: PrepMetrics without VarianceAware", ErrPrepschedConfig)
+		}
+	}
+	t := &Trainer{cfg: cfg, pf: cfg.PrefetchMetrics, ps: cfg.PrepMetrics}
 	if t.pf == nil {
 		t.pf = &prefetch.Metrics{}
+	}
+	if t.ps == nil {
+		t.ps = &prepsched.Metrics{}
 	}
 	c, err := cfg.DialClient()
 	if err != nil {
@@ -259,6 +306,10 @@ func (t *Trainer) order(epoch uint64) []int {
 // while running reactive).
 func (t *Trainer) PrefetchMetrics() *prefetch.Metrics { return t.pf }
 
+// PrepMetrics exposes the variance-aware scheduler's counters (zero-valued
+// outside VarianceAware mode).
+func (t *Trainer) PrepMetrics() *prepsched.Metrics { return t.ps }
+
 // ApplySnapshot rotates the live plan mid-epoch: a lookahead epoch's
 // scheduler reads splits at issue time, so every stream entry not yet
 // issued is fetched under the new snapshot's cut depths while entries
@@ -285,6 +336,7 @@ type sampleOutcome struct {
 	wireBytes int
 	localCPU  time.Duration
 	offloaded bool
+	heavy     bool // variance-aware class of the sample
 	failed    bool // degraded-mode skip, not a fatal error
 	err       error
 }
@@ -369,6 +421,9 @@ func (t *Trainer) runEpoch(epoch uint64, plan *policy.Plan, version policy.PlanV
 		report.LocalCPU += out.localCPU
 		if out.offloaded {
 			report.Offloaded++
+		}
+		if out.heavy {
+			report.Heavy++
 		}
 		inBatch++
 		if inBatch == t.cfg.BatchSize {
@@ -556,6 +611,10 @@ func (t *Trainer) startLookahead(ctx context.Context, cancel context.CancelFunc,
 		return nil, fmt.Errorf("trainsim: lookahead: %w", err)
 	}
 
+	if t.cfg.VarianceAware {
+		return t.startVarianceAware(ctx, cancel, sched, epoch, collector, results, computeSem), nil
+	}
+
 	var pwg sync.WaitGroup
 	for w := 0; w < t.cfg.Workers; w++ {
 		pwg.Add(1)
@@ -587,6 +646,84 @@ func (t *Trainer) startLookahead(ctx context.Context, cancel context.CancelFunc,
 		sched.Stop()
 		sched.Wait()
 	}, nil
+}
+
+// startVarianceAware runs the local stage as a variance-aware work-stealing
+// pool instead of the FIFO Next loop: a single dispatcher consumes the
+// clairvoyant stream in order, classifies each entry heavy/light, and spreads
+// it over per-worker deques (sample seq to deque seq%W, the same static
+// assignment FIFO would use); workers drain their own deque light-first and
+// steal from neighbors when dry, so a heavy decode on one worker overlaps the
+// staged samples behind it instead of stalling them. The pool's capacity
+// bound keeps the dispatcher from outrunning the workers and defeating the
+// prefetcher's staging discipline. Scheduling moves only completion timing:
+// preprocessing stays deterministic per (job, epoch, sample), and the batch
+// accounting in runEpoch is order-independent, so reports and artifact bytes
+// are bit-identical to FIFO scheduling.
+func (t *Trainer) startVarianceAware(ctx context.Context, cancel context.CancelFunc, sched *prefetch.Scheduler, epoch uint64, collector *profiler.Collector, results chan<- sampleOutcome, computeSem chan struct{}) func() {
+	capacity := 2 * t.cfg.Workers
+	if c := 2 * t.cfg.BatchSize; c > capacity {
+		capacity = c
+	}
+	pool, perr := prepsched.NewPool[prefetch.Item](t.cfg.Workers, capacity, t.ps)
+	if perr != nil {
+		// Unreachable: Workers >= 1 and capacity >= 2*Workers by
+		// construction. Fall back to a minimal pool to keep the epoch alive.
+		pool, _ = prepsched.NewPool[prefetch.Item](1, 2, t.ps)
+	}
+
+	var dwg sync.WaitGroup
+	dwg.Add(1)
+	go func() {
+		defer dwg.Done()
+		defer pool.Close()
+		seq := 0
+		for {
+			it, ok := sched.Next()
+			if !ok {
+				return
+			}
+			if !pool.Dispatch(seq, it, t.cfg.Classify(it.Sample)) {
+				return
+			}
+			seq++
+		}
+	}()
+
+	var pwg sync.WaitGroup
+	for w := 0; w < t.cfg.Workers; w++ {
+		pwg.Add(1)
+		go func(w int) {
+			defer pwg.Done()
+			for {
+				it, class, ok := pool.Take(w)
+				if !ok || ctx.Err() != nil {
+					return
+				}
+				out := t.processItem(it, epoch, collector, computeSem)
+				out.heavy = class == prepsched.Heavy
+				select {
+				case results <- out:
+				case <-ctx.Done():
+				}
+				if out.err != nil {
+					cancel()
+					return
+				}
+			}
+		}(w)
+	}
+	go func() {
+		pwg.Wait()
+		close(results)
+	}()
+	return func() {
+		cancel()
+		pool.Stop()
+		sched.Stop()
+		sched.Wait()
+		dwg.Wait()
+	}
 }
 
 // processItem finishes one delivered stream entry locally, with the same
