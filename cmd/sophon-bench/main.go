@@ -259,6 +259,10 @@ func main() {
 	prepschedCostRatio := flag.Int("prepsched.costratio", 20, "preprocessing cost multiplier for heavy samples")
 	prepschedThreshold := flag.Float64("prepsched.threshold", 0, "heavy classification threshold as a multiple of the mean cost (0 = default)")
 	fleetOut := flag.String("fleet", "", "run the 100-job fleet scenario (coordinated vs independent planning on a shared tier) and write the JSON report to this file (skips the evaluation)")
+	fidelityOut := flag.String("fidelity", "", "run the progressive-fidelity evaluation (discrete vs fidelity-aware SOPHON plan, ladder calibrated from the live codec) and write the JSON report to this file (skips the evaluation)")
+	fidelitySamples := flag.Int("fidelity.samples", 8000, "samples in the fidelity comparison epoch")
+	fidelityFloor := flag.Float64("fidelity.floor", 0.95, "per-sample reconstruction quality floor")
+	fidelityMeanFloor := flag.Float64("fidelity.meanfloor", 0.97, "plan-wide mean reconstruction quality floor")
 	loadOut := flag.String("load", "", "run the heavy-traffic load harness (steady + overload scenarios) and write the SLO record to this file (skips the evaluation)")
 	loadSessions := flag.Int("load.sessions", 2400, "total concurrent sessions across the load tenants")
 	loadDuration := flag.Duration("load.duration", 5*time.Second, "simulated load window per scenario")
@@ -279,6 +283,7 @@ func main() {
 			"load.sessions": true, "load.shards": true, "load.cores": true,
 			"prefetch.samples": true, "prefetch.shards": true, "prefetch.depth": true,
 			"prepsched.samples": true, "prepsched.workers": true, "prepsched.costratio": true,
+			"fidelity.samples": true,
 		},
 		map[string]bool{"openimages": true, "imagenet": true},
 		map[string]int{
@@ -286,12 +291,16 @@ func main() {
 			"openimages": *openImages, "imagenet": *imageNet,
 			"prefetch.samples": *prefetchSamples, "prefetch.shards": *prefetchShards, "prefetch.depth": *prefetchDepth,
 			"prepsched.samples": *prepschedSamples, "prepsched.workers": *prepschedWorkers, "prepsched.costratio": *prepschedCostRatio,
+			"fidelity.samples": *fidelitySamples,
 		})
 	if *prepschedHeavyFrac <= 0 || *prepschedHeavyFrac >= 1 {
 		logger.Fatalf("-prepsched.heavyfrac must be in (0, 1), got %g", *prepschedHeavyFrac)
 	}
 	if *prepschedThreshold < 0 {
 		logger.Fatalf("-prepsched.threshold must be non-negative, got %g", *prepschedThreshold)
+	}
+	if *fidelityFloor < 0 || *fidelityFloor > 1 || *fidelityMeanFloor < 0 || *fidelityMeanFloor > 1 {
+		logger.Fatalf("-fidelity.floor and -fidelity.meanfloor must be in [0, 1], got %g and %g", *fidelityFloor, *fidelityMeanFloor)
 	}
 
 	if *loadOut != "" {
@@ -327,6 +336,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "sophon-bench: trajectory written to %s\n", *convertOut)
+		return
+	}
+
+	if *fidelityOut != "" {
+		opt := fidelityOptions{samples: *fidelitySamples, floor: *fidelityFloor, meanFloor: *fidelityMeanFloor}
+		if err := writeFidelityJSON(*fidelityOut, *seed, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "sophon-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "sophon-bench: fidelity comparison written to %s\n", *fidelityOut)
 		return
 	}
 

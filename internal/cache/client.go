@@ -26,14 +26,26 @@ func NewFetchingCache(client *storage.Client, c Cache) *FetchingCache {
 
 // Fetch returns the sample's artifact. Raw fetches that hit the cache cost
 // zero wire bytes; raw misses populate the cache. Offloaded fetches bypass
-// the cache entirely.
+// the cache entirely. A reduced-fidelity raw directive is served from a
+// cached full object by truncating its progressive container locally —
+// bit-identical to the prefix the server would slice; only full-fidelity
+// fetches populate the cache, so a truncated container never poisons
+// full-fidelity readers.
 func (f *FetchingCache) Fetch(ctx context.Context, sample uint32, split int, epoch uint64) (storage.FetchResult, error) {
-	if split == 0 {
+	cut, fid := storage.UnpackDirective(split)
+	if cut == 0 {
 		if data, ok := f.cache.Get(sample); ok {
+			raw := data
+			if fid > 0 {
+				if prefix, ok := truncateBodyToFidelity(data, uint8(fid)); ok {
+					raw = prefix
+				}
+			}
 			return storage.FetchResult{
 				Sample:    sample,
-				Artifact:  pipeline.RawArtifact(data),
+				Artifact:  pipeline.RawArtifact(raw),
 				Split:     0,
+				Fidelity:  fid,
 				WireBytes: 0,
 			}, nil
 		}
@@ -46,6 +58,8 @@ func (f *FetchingCache) Fetch(ctx context.Context, sample uint32, split int, epo
 		// Safe to retain: raw artifact payloads are decoded into plain owned
 		// memory, never pool-backed buffers (see pipeline.DecodeArtifact), so
 		// the cache cannot alias memory the arena might hand out again.
+		// (split == 0 means cut 0 AND full fidelity: truncated containers
+		// are never inserted.)
 		f.cache.Put(sample, res.Artifact.Raw)
 	}
 	return res, nil
@@ -64,9 +78,15 @@ func (f *FetchingCache) FetchBatch(ctx context.Context, samples []uint32, splits
 	var missSplits []int
 	var missIdx []int
 	for i := range samples {
-		if splits[i] == 0 {
+		if cut, fid := storage.UnpackDirective(splits[i]); cut == 0 {
 			if data, ok := f.cache.Get(samples[i]); ok {
-				out[i] = storage.FetchResult{Sample: samples[i], Artifact: pipeline.RawArtifact(data)}
+				raw := data
+				if fid > 0 {
+					if prefix, ok := truncateBodyToFidelity(data, uint8(fid)); ok {
+						raw = prefix
+					}
+				}
+				out[i] = storage.FetchResult{Sample: samples[i], Artifact: pipeline.RawArtifact(raw), Fidelity: fid}
 				continue
 			}
 		}

@@ -32,6 +32,12 @@ type ArtifactKey struct {
 	// Cut is the pipeline cut (split): the number of ops executed on the
 	// storage server. Cut 0 is the raw object.
 	Cut uint8
+	// Fidelity is the progressive dimension: the number of refinement scans
+	// withheld from a cut-0 progressive container (0 = the full object).
+	// Keys at different fidelities name different byte strings, but a
+	// deeper entry (smaller Fidelity) can satisfy a shallower request by
+	// truncation — see Get's prefix-aware probe.
+	Fidelity uint8
 	// Epoch scopes augmented artifacts, which embed per-epoch randomness.
 	// Raw (cut-0) artifacts are epoch-invariant and use Epoch 0.
 	Epoch uint64
@@ -39,7 +45,7 @@ type ArtifactKey struct {
 
 // String renders the key for logs.
 func (k ArtifactKey) String() string {
-	return fmt.Sprintf("ds=%x sample=%d cut=%d epoch=%d", k.Dataset, k.Sample, k.Cut, k.Epoch)
+	return fmt.Sprintf("ds=%x sample=%d cut=%d fid=%d epoch=%d", k.Dataset, k.Sample, k.Cut, k.Fidelity, k.Epoch)
 }
 
 // TenantCacheStats is one tenant's slice of the shared cache's accounting.
@@ -137,22 +143,47 @@ func (c *SharedArtifactCache) tenantLocked(tenant string) *TenantCacheStats {
 
 // Get returns the encoded artifact for key, charging the lookup to tenant.
 // The returned slice is read-only and remains valid after eviction.
+//
+// Keys are prefix-aware: when an exact entry for a reduced-fidelity cut-0
+// request is absent, a deeper entry of the same sample (fewer scans dropped,
+// including the full container) is truncated to the requested fidelity —
+// bit-identical to what the storage server would have sliced — and served as
+// a hit. Only the exact byte length served is charged to BytesSaved.
 func (c *SharedArtifactCache) Get(tenant string, key ArtifactKey) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ts := c.tenantLocked(tenant)
-	el, ok := c.items[key]
-	if !ok {
-		ts.Misses++
-		c.misses++
-		return nil, false
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*sharedEntry)
+		ts.Hits++
+		ts.BytesSaved += int64(len(e.data))
+		c.hits++
+		return e.data, true
 	}
-	c.ll.MoveToFront(el)
-	e := el.Value.(*sharedEntry)
-	ts.Hits++
-	ts.BytesSaved += int64(len(e.data))
-	c.hits++
-	return e.data, true
+	if key.Cut == 0 && key.Fidelity > 0 {
+		probe := key
+		for df := uint8(0); df < key.Fidelity; df++ {
+			probe.Fidelity = df
+			el, ok := c.items[probe]
+			if !ok {
+				continue
+			}
+			e := el.Value.(*sharedEntry)
+			prefix, ok := truncateToFidelity(e.data, key.Fidelity)
+			if !ok {
+				continue
+			}
+			c.ll.MoveToFront(el)
+			ts.Hits++
+			ts.BytesSaved += int64(len(prefix))
+			c.hits++
+			return prefix, true
+		}
+	}
+	ts.Misses++
+	c.misses++
+	return nil, false
 }
 
 // Put inserts an encoded artifact under key, charging the insert to tenant.

@@ -55,10 +55,15 @@ func NewTenantFetcher(inner Fetcher, shared *SharedArtifactCache, tenant string,
 }
 
 // key builds the fleet-wide artifact key for one fetch. Raw (cut-0)
-// artifacts carry no per-epoch randomness and share across epochs.
+// artifacts carry no per-epoch randomness and share across epochs. The
+// split is a packed directive (see storage.PackDirective): the fidelity
+// half must land in its own key dimension — a bare uint8 cast of the packed
+// int would collapse a reduced-fidelity fetch onto the full-fidelity key
+// and serve truncated bytes to full-fidelity readers.
 func (t *TenantFetcher) key(sample uint32, split int, epoch uint64) ArtifactKey {
-	k := ArtifactKey{Dataset: t.dataset, Sample: sample, Cut: uint8(split)}
-	if split > 0 {
+	cut, fid := storage.UnpackDirective(split)
+	k := ArtifactKey{Dataset: t.dataset, Sample: sample, Cut: uint8(cut), Fidelity: uint8(fid)}
+	if cut > 0 {
 		k.Epoch = epoch
 	}
 	return k
@@ -71,7 +76,8 @@ func hit(sample uint32, split int, data []byte) (storage.FetchResult, error) {
 		// A corrupt cache entry would be a bug, not an I/O fault; surface it.
 		return storage.FetchResult{}, fmt.Errorf("cache: shared entry for sample %d: %w", sample, err)
 	}
-	return storage.FetchResult{Sample: sample, Artifact: art, Split: split, WireBytes: 0}, nil
+	cut, fid := storage.UnpackDirective(split)
+	return storage.FetchResult{Sample: sample, Artifact: art, Split: cut, Fidelity: fid, WireBytes: 0}, nil
 }
 
 // retain encodes a fetched artifact into a plain owned buffer for the shared

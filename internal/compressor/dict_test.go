@@ -1,0 +1,163 @@
+package compressor
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// labelCorpus synthesizes the kind of stream the dictionary targets:
+// structured per-sample label/metadata records with heavy key repetition.
+func labelCorpus(n int, seed uint64) [][]byte {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	classes := []string{"cat", "dog", "car", "ship", "bird"}
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("class=%s;id=%d;bbox=%d,%d,%d,%d;flip=%d",
+			classes[rng.IntN(len(classes))], i,
+			rng.IntN(64), rng.IntN(64), rng.IntN(64), rng.IntN(64), rng.IntN(2)))
+	}
+	return out
+}
+
+func TestDictRoundTripCorpus(t *testing.T) {
+	corpus := labelCorpus(200, 1)
+	d, err := TrainDict(corpus, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Entries() == 0 {
+		t.Fatal("training on a repetitive corpus learned no entries")
+	}
+	for i, s := range corpus {
+		enc := d.Encode(s)
+		dec, err := d.Decode(enc)
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		if !bytes.Equal(dec, s) {
+			t.Fatalf("sample %d: round trip %q -> %q", i, s, dec)
+		}
+	}
+	st := d.Stats(corpus)
+	if st.Ratio >= 0.75 {
+		t.Fatalf("dictionary ratio %.3f on the label corpus, want < 0.75", st.Ratio)
+	}
+	if len(d.TopTokens(3)) == 0 {
+		t.Fatal("no token expansions reported")
+	}
+}
+
+// Property: any input round-trips through a trained dictionary, including
+// inputs containing the escape and token byte values the corpus never used.
+func TestDictRoundTripProperty(t *testing.T) {
+	d, err := TrainDict(labelCorpus(100, 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(data []byte) bool {
+		dec, err := d.Decode(d.Encode(data))
+		return err == nil && bytes.Equal(dec, data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A corpus spanning all 256 byte values leaves no room for tokens: training
+// degrades to a passthrough dictionary rather than failing.
+func TestDictPassthrough(t *testing.T) {
+	all := make([]byte, 256)
+	for i := range all {
+		all[i] = byte(i)
+	}
+	d, err := TrainDict([][]byte{all}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Entries() != 0 {
+		t.Fatalf("passthrough dictionary has %d entries", d.Entries())
+	}
+	enc := d.Encode(all)
+	if !bytes.Equal(enc, all) {
+		t.Fatal("passthrough encode is not a copy")
+	}
+	dec, err := d.Decode(enc)
+	if err != nil || !bytes.Equal(dec, all) {
+		t.Fatalf("passthrough round trip failed: %v", err)
+	}
+}
+
+func TestDictMarshalRoundTrip(t *testing.T) {
+	corpus := labelCorpus(150, 3)
+	d, err := TrainDict(corpus, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := d.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := UnmarshalDict(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range corpus[:20] {
+		if !bytes.Equal(d.Encode(s), d2.Encode(s)) {
+			t.Fatal("unmarshaled dictionary encodes differently")
+		}
+		dec, err := d2.Decode(d.Encode(s))
+		if err != nil || !bytes.Equal(dec, s) {
+			t.Fatalf("cross decode failed: %v", err)
+		}
+	}
+
+	// Training is deterministic: same corpus, same table.
+	d3, err := TrainDict(corpus, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob3, err := d3.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob3) {
+		t.Fatal("training is nondeterministic")
+	}
+}
+
+func TestDictRejectsMalformed(t *testing.T) {
+	d, err := TrainDict(labelCorpus(50, 4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := d.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"short":       blob[:4],
+		"bad magic":   append([]byte("XXXXX"), blob[5:]...),
+		"bad trailer": append(append([]byte(nil), blob...), 1, 2, 3),
+	}
+	if d.Entries() > 0 {
+		// Forward-referencing entry: left symbol points at itself.
+		fwd := append([]byte(nil), blob...)
+		p := len(dictMagic) + 3
+		fwd[p+1], fwd[p+2] = 0x01, 0x00 // symbol 256 in entry 0
+		cases["forward reference"] = fwd
+	}
+	for name, c := range cases {
+		if _, err := UnmarshalDict(c); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Dangling escape in an encoded stream.
+	if d.hasEscape {
+		if _, err := d.Decode([]byte{d.escape}); err == nil {
+			t.Error("dangling escape accepted")
+		}
+	}
+}

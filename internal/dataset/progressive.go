@@ -1,0 +1,21 @@
+package dataset
+
+import "fmt"
+
+// Label renders sample i's metadata record — the per-sample stream a real
+// loader ships alongside the pixels (class label, source id, geometry). The
+// record is deterministic in the set's seeds, structured, and low-entropy:
+// exactly the stream family a trained dictionary codec targets. The
+// progressive materialization in internal/compressor embeds it as each
+// container's sidecar.
+func (s *ImageSet) Label(i int) ([]byte, error) {
+	m, err := s.Meta(i)
+	if err != nil {
+		return nil, err
+	}
+	// A synthetic 1000-class label derived from the sample's own seed, so
+	// replays agree byte for byte.
+	class := m.Seed % 1000
+	return []byte(fmt.Sprintf("sample=%d class=%03d w=%d h=%d q=%d detail=%.3f src=%s",
+		m.ID, class, m.W, m.H, m.Quality, m.Detail, s.name)), nil
+}

@@ -82,6 +82,13 @@ type Config struct {
 	// it only affects Result.HeavySamples accounting, not scheduling.
 	// PrepSched≠Shared only (ErrPrepSchedConfig).
 	HeavyRatio float64
+
+	// Fidelity, when non-nil, enables progressive byte accounting: a raw
+	// (split-0) sample whose plan entry withholds scans ships only the
+	// ladder's prefix fraction of its stored size, at zero storage-CPU cost
+	// (the server slices, never re-encodes). nil ignores the plan's fidelity
+	// dimension entirely, reproducing pre-progressive runs byte for byte.
+	Fidelity *policy.FidelityModel
 }
 
 // PrepSchedModel names a local-preprocessing service model.
@@ -165,6 +172,15 @@ type Result struct {
 	// HeavySamples counts trace records classified heavy at HeavyRatio ×
 	// mean cost (0 under PrepSchedShared).
 	HeavySamples int
+
+	// MeanQuality is the plan's mean per-sample reconstruction quality under
+	// the fidelity ladder (1 without a ladder or with no reduced samples).
+	MeanQuality float64
+	// SamplesReduced counts raw samples shipped at reduced fidelity.
+	SamplesReduced int
+	// FidelityBytesSaved is traffic avoided by withholding refinement scans
+	// relative to shipping every raw sample in full.
+	FidelityBytesSaved int64
 }
 
 // multiServer models a k-server FIFO resource by tracking per-server free
@@ -326,6 +342,21 @@ func Run(cfg Config) (Result, error) {
 	if overhead == 0 {
 		overhead = DefaultRequestOverhead
 	}
+	if cfg.Fidelity != nil {
+		if err := cfg.Fidelity.Validate(); err != nil {
+			return Result{}, err
+		}
+	}
+	// xferBytes prices one sample's transfer: stage-split artifact plus
+	// framing, with the raw container scaled to its fidelity prefix when the
+	// ladder is enabled — the same rule policy.Plan.TrafficWith applies.
+	xferBytes := func(rec *dataset.Record, id, split int) int64 {
+		size := rec.StageSizes[split]
+		if split == 0 && cfg.Fidelity != nil {
+			size = cfg.Fidelity.BytesAt(size, cfg.Plan.FidelityOf(id))
+		}
+		return size + int64(overhead)
+	}
 
 	n := cfg.Trace.N()
 	offloaded := 0
@@ -386,7 +417,8 @@ func Run(cfg Config) (Result, error) {
 	consumed := make([]time.Duration, n)
 	batchReady := time.Duration(0) // max ready time in the current batch
 	batchStart := 0
-	var traffic int64
+	var traffic, fidelitySaved int64
+	samplesReduced := 0
 	var lastGPUEnd time.Duration
 	batches := 0
 
@@ -430,7 +462,7 @@ func Run(cfg Config) (Result, error) {
 			for i := 0; i < n; i++ {
 				rec := &cfg.Trace.Records[order[i]]
 				split := cfg.Plan.Split(order[i])
-				bytesPrefix[i+1] = bytesPrefix[i] + rec.StageSizes[split] + int64(overhead)
+				bytesPrefix[i+1] = bytesPrefix[i] + xferBytes(rec, order[i], split)
 			}
 		}
 	}
@@ -483,7 +515,11 @@ func Run(cfg Config) (Result, error) {
 		// Transfer over the owning shard's link, serialized at the
 		// configured bandwidth. The RTT delays the transfer's start but
 		// does not occupy the link.
-		bytes := rec.StageSizes[split] + int64(overhead)
+		bytes := xferBytes(rec, order[i], split)
+		if full := rec.StageSizes[split] + int64(overhead); bytes < full {
+			fidelitySaved += full - bytes
+			samplesReduced++
+		}
 		traffic += bytes
 		xfer := time.Duration(float64(bytes) / cfg.Env.Bandwidth * float64(time.Second))
 		t = links[shard].schedule(t+cfg.RTT, xfer)
@@ -518,12 +554,18 @@ func Run(cfg Config) (Result, error) {
 	flushBatch(n) // trailing partial batch
 
 	res := Result{
-		EpochTime:        lastGPUEnd,
-		TrafficBytes:     traffic,
-		ComputeBusy:      computePool.busy,
-		GPUBusy:          gpuPool.busy,
-		SamplesOffloaded: offloaded,
-		Batches:          batches,
+		EpochTime:          lastGPUEnd,
+		TrafficBytes:       traffic,
+		ComputeBusy:        computePool.busy,
+		GPUBusy:            gpuPool.busy,
+		SamplesOffloaded:   offloaded,
+		Batches:            batches,
+		MeanQuality:        1,
+		SamplesReduced:     samplesReduced,
+		FidelityBytesSaved: fidelitySaved,
+	}
+	if cfg.Fidelity != nil {
+		res.MeanQuality = cfg.Plan.MeanQuality(*cfg.Fidelity)
 	}
 	res.PerLinkIdle = make([]time.Duration, shards)
 	var idleSum time.Duration

@@ -100,6 +100,40 @@ func Encode(im *Image, quality int) ([]byte, error) {
 	yPlane := planes[:im.W*im.H]
 	cbPlane := planes[im.W*im.H : im.W*im.H+cw*ch]
 	crPlane := planes[im.W*im.H+cw*ch:]
+	fillPlanes(im, yShift, cShift, yPlane, cbPlane, crPlane)
+
+	deltaEncode(yPlane, im.W)
+	deltaEncode(cbPlane, cw)
+	deltaEncode(crPlane, cw)
+
+	buf := encBufPool.Get().(*bytes.Buffer)
+	defer encBufPool.Put(buf)
+	buf.Reset()
+	buf.WriteString(sjpgMagic)
+	buf.WriteByte(sjpgVersion)
+	buf.WriteByte(uint8(quality))
+	var dims [8]byte
+	binary.BigEndian.PutUint32(dims[0:4], uint32(im.W))
+	binary.BigEndian.PutUint32(dims[4:8], uint32(im.H))
+	buf.Write(dims[:])
+
+	zw := flateWriterPool.Get().(*flate.Writer)
+	defer flateWriterPool.Put(zw)
+	zw.Reset(buf)
+	if _, err := zw.Write(planes); err != nil {
+		return nil, fmt.Errorf("imaging: compress planes: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("imaging: finish compress: %w", err)
+	}
+	return append([]byte(nil), buf.Bytes()...), nil
+}
+
+// fillPlanes computes the SJPG-quantized Y/Cb/Cr planes for im: luma per
+// pixel shifted by yShift, chroma 2x2-box-averaged then shifted by cShift.
+// The plane slices must be sized W*H, cw*ch, cw*ch respectively.
+func fillPlanes(im *Image, yShift, cShift uint, yPlane, cbPlane, crPlane []uint8) {
+	cw, ch := (im.W+1)/2, (im.H+1)/2
 	sums := bufpool.GetUint32(3 * cw * ch)
 	defer bufpool.PutUint32(sums)
 	cbSum := sums[:cw*ch]
@@ -128,32 +162,6 @@ func Encode(im *Image, quality int) ([]byte, error) {
 		cbPlane[i] = uint8(cbSum[i]/n) >> cShift
 		crPlane[i] = uint8(crSum[i]/n) >> cShift
 	}
-
-	deltaEncode(yPlane, im.W)
-	deltaEncode(cbPlane, cw)
-	deltaEncode(crPlane, cw)
-
-	buf := encBufPool.Get().(*bytes.Buffer)
-	defer encBufPool.Put(buf)
-	buf.Reset()
-	buf.WriteString(sjpgMagic)
-	buf.WriteByte(sjpgVersion)
-	buf.WriteByte(uint8(quality))
-	var dims [8]byte
-	binary.BigEndian.PutUint32(dims[0:4], uint32(im.W))
-	binary.BigEndian.PutUint32(dims[4:8], uint32(im.H))
-	buf.Write(dims[:])
-
-	zw := flateWriterPool.Get().(*flate.Writer)
-	defer flateWriterPool.Put(zw)
-	zw.Reset(buf)
-	if _, err := zw.Write(planes); err != nil {
-		return nil, fmt.Errorf("imaging: compress planes: %w", err)
-	}
-	if err := zw.Close(); err != nil {
-		return nil, fmt.Errorf("imaging: finish compress: %w", err)
-	}
-	return append([]byte(nil), buf.Bytes()...), nil
 }
 
 // EncodeDefault is Encode at DefaultQuality.
@@ -204,6 +212,15 @@ func Decode(data []byte) (*Image, error) {
 	deltaDecode(cbPlane, cw)
 	deltaDecode(crPlane, cw)
 
+	return planesToImage(w, h, yShift, cShift, yPlane, cbPlane, crPlane)
+}
+
+// planesToImage dequantizes Y/Cb/Cr planes (already delta-decoded) back into
+// a pooled RGB image. The shifts are the effective quantization at decode
+// time — for a progressive prefix they include the undelivered refinement
+// depth on top of the quality-derived shift.
+func planesToImage(w, h int, yShift, cShift uint, yPlane, cbPlane, crPlane []uint8) (*Image, error) {
+	cw := (w + 1) / 2
 	im, err := NewPooled(w, h)
 	if err != nil {
 		return nil, err

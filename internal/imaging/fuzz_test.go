@@ -36,3 +36,50 @@ func FuzzDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeProgressive: the SJPR decoder must never panic, over-allocate,
+// or return a wrong image on arbitrary input — truncated or corrupted
+// containers surface as errors, and whatever it accepts must satisfy the
+// prefix contract (slice of k scans decodes identically to decoding the
+// blob at fidelity k).
+func FuzzDecodeProgressive(f *testing.F) {
+	for _, seed := range []uint64{1, 2} {
+		im, err := Synthesize(SynthParams{W: 16, H: 12, Detail: 0.5, Seed: seed})
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := EncodeProgressiveSidecar(im, 80, 3, []byte("label"))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		if prefix, err := SlicePrefix(data, 2); err == nil {
+			f.Add(prefix)
+		}
+		f.Add(data[:len(data)-3]) // mid-scan truncation
+	}
+	f.Add([]byte("SJPR"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		im, k, err := DecodeProgressive(data)
+		if err != nil {
+			return
+		}
+		if im.W <= 0 || im.H <= 0 || len(im.Pix) != im.W*im.H*Channels {
+			t.Fatalf("accepted image has inconsistent geometry: %dx%d, %d bytes", im.W, im.H, len(im.Pix))
+		}
+		if k < 1 || k > MaxScans {
+			t.Fatalf("accepted container reports %d scans", k)
+		}
+		again, err := DecodeAtFidelity(data, k)
+		if err != nil {
+			t.Fatalf("accepted container failed at-fidelity decode: %v", err)
+		}
+		if !im.Equal(again) {
+			t.Fatal("DecodeProgressive and DecodeAtFidelity disagree on the same blob")
+		}
+		again.Release()
+		im.Release()
+	})
+}

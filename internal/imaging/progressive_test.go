@@ -1,0 +1,305 @@
+package imaging
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func synthFor(t testing.TB, seed uint64, w, h int, detail float64) *Image {
+	t.Helper()
+	im, err := Synthesize(SynthParams{W: w, H: h, Detail: detail, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+// Full-depth progressive decode must be pixel-identical to the SJPG path at
+// the same quality: the scans are a re-serialization of the same quantized
+// planes, not a different codec.
+func TestProgressiveFullMatchesSJPG(t *testing.T) {
+	for _, q := range []int{30, 60, 80, 95} {
+		for scans := 1; scans <= MaxScans; scans++ {
+			im := synthFor(t, uint64(q*10+scans), 41, 29, 0.6)
+			flat, err := Encode(im, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Decode(flat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := EncodeProgressive(im, q, scans)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, n, err := DecodeProgressive(prog)
+			if err != nil {
+				t.Fatalf("q=%d scans=%d: %v", q, scans, err)
+			}
+			if n != scans {
+				t.Fatalf("q=%d scans=%d: decoded %d scans", q, scans, n)
+			}
+			if !got.Equal(want) {
+				d, _ := got.MaxAbsDiff(want)
+				t.Fatalf("q=%d scans=%d: full progressive decode differs from SJPG (max diff %d)", q, scans, d)
+			}
+			got.Release()
+			want.Release()
+		}
+	}
+}
+
+// Property: for all seeds and scan counts, decoding the sliced k-scan
+// prefix equals decoding the full container at fidelity k (the downsampled
+// contract), and prefix sizes are strictly monotone in k.
+func TestProgressivePrefixProperties(t *testing.T) {
+	prop := func(seed uint64, wRaw, hRaw uint8, scansRaw uint8, detailRaw uint8) bool {
+		w := 8 + int(wRaw)%48
+		h := 8 + int(hRaw)%48
+		scans := 1 + int(scansRaw)%MaxScans
+		detail := float64(detailRaw) / 255
+		im, err := Synthesize(SynthParams{W: w, H: h, Detail: detail, Seed: seed})
+		if err != nil {
+			t.Logf("synthesize: %v", err)
+			return false
+		}
+		full, err := EncodeProgressive(im, 80, scans)
+		if err != nil {
+			t.Logf("encode: %v", err)
+			return false
+		}
+		prev := 0
+		for k := 1; k <= scans; k++ {
+			size, err := PrefixSize(full, k)
+			if err != nil {
+				t.Logf("prefix size k=%d: %v", k, err)
+				return false
+			}
+			if size <= prev {
+				t.Logf("prefix size not monotone at k=%d: %d <= %d", k, size, prev)
+				return false
+			}
+			prev = size
+			prefix, err := SlicePrefix(full, k)
+			if err != nil {
+				t.Logf("slice k=%d: %v", k, err)
+				return false
+			}
+			fromPrefix, n, err := DecodeProgressive(prefix)
+			if err != nil {
+				t.Logf("decode prefix k=%d: %v", k, err)
+				return false
+			}
+			if n != k {
+				t.Logf("prefix k=%d decoded %d scans", k, n)
+				return false
+			}
+			atFidelity, err := DecodeAtFidelity(full, k)
+			if err != nil {
+				t.Logf("decode at fidelity k=%d: %v", k, err)
+				return false
+			}
+			eq := fromPrefix.Equal(atFidelity)
+			fromPrefix.Release()
+			atFidelity.Release()
+			if !eq {
+				t.Logf("prefix decode differs from at-fidelity decode at k=%d", k)
+				return false
+			}
+		}
+		if prev != len(full) {
+			t.Logf("full prefix size %d != container size %d", prev, len(full))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Fidelity is a quality ladder: each additional scan must not increase the
+// reconstruction error against the full-fidelity decode, and shallower
+// prefixes must cost fewer bytes.
+func TestProgressiveFidelityLadder(t *testing.T) {
+	im := synthFor(t, 7, 96, 64, 0.5)
+	full, err := EncodeProgressive(im, 80, MaxScans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := DecodeAtFidelity(full, MaxScans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Release()
+	prevErr := 1 << 10
+	for k := 1; k <= MaxScans; k++ {
+		im2, err := DecodeAtFidelity(full, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := im2.MaxAbsDiff(ref)
+		im2.Release()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > prevErr {
+			t.Fatalf("fidelity ladder not monotone: k=%d has max error %d > %d", k, d, prevErr)
+		}
+		prevErr = d
+	}
+	if prevErr != 0 {
+		t.Fatalf("full-depth decode should match itself, max error %d", prevErr)
+	}
+}
+
+// Truncation mid-scan and index corruption must surface as typed errors —
+// never as a quietly wrong image.
+func TestProgressiveTruncationAndCorruption(t *testing.T) {
+	im := synthFor(t, 11, 32, 24, 0.5)
+	full, err := EncodeProgressiveSidecar(im, 80, 3, []byte("labels:42"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundaries := map[int]bool{}
+	for k := 1; k <= 3; k++ {
+		n, err := PrefixSize(full, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		boundaries[n] = true
+	}
+	hdr, err := PrefixSize(full, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 5))
+	for trial := 0; trial < 64; trial++ {
+		n := hdr + rng.IntN(len(full)-hdr)
+		if boundaries[n] {
+			continue
+		}
+		if im2, _, err := DecodeProgressive(full[:n]); err == nil {
+			im2.Release()
+			t.Fatalf("mid-scan truncation to %d bytes decoded without error", n)
+		} else if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes: got %v, want ErrTruncated/ErrCorrupt", n, err)
+		}
+	}
+
+	// Corrupt a scan payload byte: the index CRC must catch it.
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(corrupt)-1] ^= 0xFF
+	if im2, _, err := DecodeProgressive(corrupt); err == nil {
+		im2.Release()
+		t.Fatal("corrupted scan payload decoded without error")
+	} else if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupted payload: got %v, want ErrCorrupt", err)
+	}
+
+	// Corrupt the scan index itself (first scan length field).
+	corrupt = append(corrupt[:0], full...)
+	side, err := ProgressiveSidecar(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := sjprFixedHeader + len(side)
+	binary.BigEndian.PutUint32(corrupt[idx:idx+4], 1<<30)
+	if im2, _, err := DecodeProgressive(corrupt); err == nil {
+		im2.Release()
+		t.Fatal("corrupted scan index decoded without error")
+	} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) {
+		t.Fatalf("corrupted index: got %v, want ErrCorrupt/ErrTruncated", err)
+	}
+}
+
+// The sidecar rides in the header region, so every fidelity prefix carries
+// it verbatim.
+func TestProgressiveSidecarSurvivesSlicing(t *testing.T) {
+	im := synthFor(t, 13, 20, 20, 0.3)
+	meta := []byte("class=7;bbox=1,2,3,4")
+	full, err := EncodeProgressiveSidecar(im, 80, MaxScans, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= MaxScans; k++ {
+		prefix, err := SlicePrefix(full, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ProgressiveSidecar(prefix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, meta) {
+			t.Fatalf("k=%d: sidecar %q, want %q", k, got, meta)
+		}
+	}
+	if _, err := EncodeProgressiveSidecar(im, 80, 2, make([]byte, MaxSidecar+1)); err == nil {
+		t.Fatal("oversized sidecar accepted")
+	}
+}
+
+// ProgressiveInfo reports scans present for both full containers and
+// prefixes; IsProgressive distinguishes the two codecs by magic.
+func TestProgressiveInfo(t *testing.T) {
+	im := synthFor(t, 17, 24, 16, 0.4)
+	full, err := EncodeProgressive(im, 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Encode(im, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsProgressive(full) || IsProgressive(flat) {
+		t.Fatal("IsProgressive misclassifies containers")
+	}
+	prefix, err := SlicePrefix(full, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, h, q, scans, present, err := ProgressiveInfo(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 24 || h != 16 || q != 60 || scans != 3 || present != 2 {
+		t.Fatalf("ProgressiveInfo = %d x %d q%d %d/%d", w, h, q, present, scans)
+	}
+	if _, err := EncodeProgressive(im, 60, MaxScans+1); err == nil {
+		t.Fatal("scan count above MaxScans accepted")
+	}
+	if _, err := EncodeProgressive(im, 0, 2); err == nil {
+		t.Fatal("quality 0 accepted")
+	}
+}
+
+// SlicePrefix on the serving path must not copy or allocate: it returns a
+// subslice of the stored container.
+func TestSlicePrefixZeroCopy(t *testing.T) {
+	im := synthFor(t, 19, 64, 48, 0.5)
+	full, err := EncodeProgressive(im, 80, MaxScans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix, err := SlicePrefix(full, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &prefix[0] != &full[0] {
+		t.Fatal("SlicePrefix copied the container")
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := SlicePrefix(full, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("SlicePrefix allocates %.1f/op, want 0", allocs)
+	}
+}

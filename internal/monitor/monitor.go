@@ -150,18 +150,23 @@ type statsSnapshot struct {
 	PlanRegressions uint64 `json:"plan_regressions"`
 	// ShedLoad sums requests every watched server rejected with a
 	// retry-after because admission was saturated.
-	ShedLoad     uint64                     `json:"shed_load"`
-	Admission    *storage.AdmissionStats    `json:"admission,omitempty"`
-	Prefetch     *prefetch.MetricsSnapshot  `json:"prefetch,omitempty"`
-	Staging      *cache.StagingSnapshot     `json:"staging,omitempty"`
-	Prepsched    *prepsched.MetricsSnapshot `json:"prepsched,omitempty"`
-	ControlPlane *controlPlaneSnapshot      `json:"control_plane,omitempty"`
-	Fleet        *sched.FleetStatus         `json:"fleet,omitempty"`
-	SharedCache  *cache.SharedSnapshot      `json:"shared_cache,omitempty"`
-	PerServer    []serverSnapshot           `json:"per_server,omitempty"`
-	Counters     map[string]int64           `json:"counters,omitempty"`
-	Gauges       map[string]int64           `json:"gauges,omitempty"`
-	Histograms   map[string]hStats          `json:"histograms,omitempty"`
+	ShedLoad uint64 `json:"shed_load"`
+	// PrefixServed / PrefixBytesSaved sum raw fetches answered from the
+	// progressive fast path (a stored-container prefix sliced in place of
+	// the full object) and the wire bytes that avoided.
+	PrefixServed     uint64                     `json:"prefix_served"`
+	PrefixBytesSaved uint64                     `json:"prefix_bytes_saved"`
+	Admission        *storage.AdmissionStats    `json:"admission,omitempty"`
+	Prefetch         *prefetch.MetricsSnapshot  `json:"prefetch,omitempty"`
+	Staging          *cache.StagingSnapshot     `json:"staging,omitempty"`
+	Prepsched        *prepsched.MetricsSnapshot `json:"prepsched,omitempty"`
+	ControlPlane     *controlPlaneSnapshot      `json:"control_plane,omitempty"`
+	Fleet            *sched.FleetStatus         `json:"fleet,omitempty"`
+	SharedCache      *cache.SharedSnapshot      `json:"shared_cache,omitempty"`
+	PerServer        []serverSnapshot           `json:"per_server,omitempty"`
+	Counters         map[string]int64           `json:"counters,omitempty"`
+	Gauges           map[string]int64           `json:"gauges,omitempty"`
+	Histograms       map[string]hStats          `json:"histograms,omitempty"`
 }
 
 // controlPlaneSnapshot is the adaptive controller's slice of /stats.
@@ -187,6 +192,8 @@ type serverSnapshot struct {
 	PlanVersion      uint32 `json:"plan_version"`
 	PlanRegressions  uint64 `json:"plan_regressions"`
 	ShedLoad         uint64 `json:"shed_load"`
+	PrefixServed     uint64 `json:"prefix_served"`
+	PrefixBytesSaved uint64 `json:"prefix_bytes_saved"`
 }
 
 type hStats struct {
@@ -210,6 +217,8 @@ func (s *Server) snapshot() statsSnapshot {
 			PlanVersion:      c.PlanVersion.Load(),
 			PlanRegressions:  c.PlanRegressions.Load(),
 			ShedLoad:         c.ShedLoad.Load(),
+			PrefixServed:     c.PrefixServed.Load(),
+			PrefixBytesSaved: c.PrefixBytesSaved.Load(),
 		}
 		out.SamplesServed += one.SamplesServed
 		out.OpsExecuted += one.OpsExecuted
@@ -224,6 +233,8 @@ func (s *Server) snapshot() statsSnapshot {
 		}
 		out.PlanRegressions += one.PlanRegressions
 		out.ShedLoad += one.ShedLoad
+		out.PrefixServed += one.PrefixServed
+		out.PrefixBytesSaved += one.PrefixBytesSaved
 		if len(s.sources) > 1 {
 			out.PerServer = append(out.PerServer, one)
 		}
@@ -304,6 +315,8 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintf(w, "sophon_plan_version %d\n", snap.PlanVersion)
 		fmt.Fprintf(w, "sophon_plan_regressions %d\n", snap.PlanRegressions)
 		fmt.Fprintf(w, "sophon_shed_load_total %d\n", snap.ShedLoad)
+		fmt.Fprintf(w, "sophon_prefix_served_total %d\n", snap.PrefixServed)
+		fmt.Fprintf(w, "sophon_prefix_bytes_saved_total %d\n", snap.PrefixBytesSaved)
 		for _, ps := range snap.PerServer {
 			fmt.Fprintf(w, "sophon_server_samples_served{server=\"%d\"} %d\n", ps.Server, ps.SamplesServed)
 			fmt.Fprintf(w, "sophon_server_in_flight_requests{server=\"%d\"} %d\n", ps.Server, ps.InFlightRequests)

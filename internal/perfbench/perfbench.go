@@ -16,6 +16,7 @@ import (
 	"io"
 	"testing"
 
+	"repro/internal/bufpool"
 	"repro/internal/imaging"
 	"repro/internal/pipeline"
 	"repro/internal/tensor"
@@ -84,6 +85,10 @@ func Run() ([]Result, error) {
 	p := pipeline.DefaultStandard()
 	respArtifact := make([]byte, 600<<10)
 	resp := &wire.FetchResp{RequestID: 7, Sample: 3, Split: 2, Status: wire.FetchOK, Artifact: respArtifact}
+	prog, err := imaging.EncodeProgressive(im, imaging.DefaultQuality, imaging.MaxScans)
+	if err != nil {
+		return nil, err
+	}
 
 	var results []Result
 	var sample uint64
@@ -131,6 +136,20 @@ func Run() ([]Result, error) {
 		}},
 		{"wire/WriteFetchResp600KB", int64(wire.FrameSize(resp)), func() error {
 			return wire.Write(io.Discard, resp)
+		}},
+		{"storage/PrefixServe640x480", int64(len(prog)), func() error {
+			// The server's reduced-fidelity fast path: slice the stored
+			// container (zero-copy) and stage it into a pooled response
+			// buffer behind a kind byte.
+			prefix, err := imaging.SlicePrefix(prog, imaging.MaxScans-2)
+			if err != nil {
+				return err
+			}
+			enc := bufpool.GetBytes(1 + len(prefix))
+			enc[0] = byte(pipeline.KindRaw)
+			copy(enc[1:], prefix)
+			bufpool.PutBytes(enc)
+			return nil
 		}},
 	} {
 		r, err := run(spec.name, spec.bytes, spec.body)

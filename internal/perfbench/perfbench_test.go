@@ -10,8 +10,8 @@ func TestRunProducesCompleteRecords(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 6 {
-		t.Fatalf("got %d results, want 6", len(results))
+	if len(results) != 7 {
+		t.Fatalf("got %d results, want 7", len(results))
 	}
 	seen := map[string]bool{}
 	for _, r := range results {

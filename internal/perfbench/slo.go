@@ -199,6 +199,16 @@ func ConvertBenchRecord(source string, data []byte) (TrajectoryEntry, error) {
 			EpochSeconds float64 `json:"epoch_seconds"`
 			LinkIdleFrac float64 `json:"link_idle_frac"`
 		} `json:"clairvoyant"`
+		TrafficReduction *float64 `json:"traffic_reduction"`
+		Discrete         struct {
+			TrafficMB    float64 `json:"traffic_mb"`
+			EpochSeconds float64 `json:"epoch_seconds"`
+		} `json:"discrete"`
+		Progressive struct {
+			TrafficMB    float64 `json:"traffic_mb"`
+			EpochSeconds float64 `json:"epoch_seconds"`
+			MeanQuality  float64 `json:"mean_quality"`
+		} `json:"progressive"`
 		PrepschedSpeedup *float64 `json:"prepsched_speedup"`
 		FIFO             struct {
 			EpochSeconds    float64 `json:"epoch_seconds"`
@@ -258,6 +268,13 @@ func ConvertBenchRecord(source string, data []byte) (TrajectoryEntry, error) {
 		e.Metrics["reactive/link_idle_frac"] = probe.Reactive.LinkIdleFrac
 		e.Metrics["clairvoyant/epoch_seconds"] = probe.Clairvoyant.EpochSeconds
 		e.Metrics["clairvoyant/link_idle_frac"] = probe.Clairvoyant.LinkIdleFrac
+	case probe.TrafficReduction != nil: // BENCH_pr10: progressive fidelity
+		e.Metrics["traffic_reduction"] = *probe.TrafficReduction
+		e.Metrics["discrete/traffic_mb"] = probe.Discrete.TrafficMB
+		e.Metrics["discrete/epoch_seconds"] = probe.Discrete.EpochSeconds
+		e.Metrics["progressive/traffic_mb"] = probe.Progressive.TrafficMB
+		e.Metrics["progressive/epoch_seconds"] = probe.Progressive.EpochSeconds
+		e.Metrics["progressive/mean_quality"] = probe.Progressive.MeanQuality
 	case probe.PrepschedSpeedup != nil: // BENCH_pr9: variance-aware prepsched
 		e.Metrics["prepsched_speedup"] = *probe.PrepschedSpeedup
 		e.Metrics["fifo/epoch_seconds"] = probe.FIFO.EpochSeconds

@@ -25,6 +25,12 @@ func FuzzReadPlan(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(buf.Bytes())
+	fid := &policy.Plan{Name: "fz", Splits: []uint8{0, 2, 0}, Fidelity: []uint8{2, 0, 1}}
+	var v3 bytes.Buffer
+	if err := WritePlanVersioned(&v3, fid, PlanMeta{Version: 4, EnvFingerprint: 7}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v3.Bytes())
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -14,17 +14,21 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/imaging"
 	"repro/internal/policy"
 )
 
-// File format constants. Plans have two on-disk generations: v1 is the bare
-// plan, v2 prefixes it with a control-plane header (plan version + the
-// fingerprint of the environment it was computed against) so a loaded plan
-// can be tied back to its planning inputs. Readers accept both.
+// File format constants. Plans have three on-disk generations: v1 is the
+// bare plan, v2 prefixes it with a control-plane header (plan version + the
+// fingerprint of the environment it was computed against), and v3 appends
+// the per-sample fidelity vector of progressive plans after the splits.
+// Readers accept all three; writers emit the oldest format that can carry
+// the plan, so fidelity-free plans keep producing byte-identical v2 files.
 const (
 	traceMagic  = "SOPHTRC1"
 	planMagic   = "SOPHPLN1"
 	planMagicV2 = "SOPHPLN2"
+	planMagicV3 = "SOPHPLN3"
 	maxName     = 1 << 10
 	maxRecords  = 1 << 26
 )
@@ -135,14 +139,23 @@ func ReadTrace(r io.Reader) (*dataset.Trace, error) {
 }
 
 // WritePlan serializes a plan in the legacy v1 format (no control-plane
-// header).
+// header) — unless the plan carries a fidelity dimension, which v1 cannot
+// express; such plans are promoted to v3 with a zero header rather than
+// silently flattened to full fidelity.
 func WritePlan(w io.Writer, p *policy.Plan) error {
+	if p != nil && p.HasFidelity() {
+		return writePlan(w, p, planMagicV3, PlanMeta{})
+	}
 	return writePlan(w, p, planMagic, PlanMeta{})
 }
 
-// WritePlanVersioned serializes a plan in the v2 format, carrying the plan
-// version and environment fingerprint in the header.
+// WritePlanVersioned serializes a plan with its control-plane header: v2
+// for discrete plans (byte-identical to earlier releases), v3 when the
+// plan carries a fidelity vector.
 func WritePlanVersioned(w io.Writer, p *policy.Plan, meta PlanMeta) error {
+	if p != nil && p.HasFidelity() {
+		return writePlan(w, p, planMagicV3, meta)
+	}
 	return writePlan(w, p, planMagicV2, meta)
 }
 
@@ -169,7 +182,7 @@ func writePlan(w io.Writer, p *policy.Plan, magic string, meta PlanMeta) error {
 	if _, err := bw.WriteString(magic); err != nil {
 		return err
 	}
-	if magic == planMagicV2 {
+	if magic == planMagicV2 || magic == planMagicV3 {
 		if err := binary.Write(bw, binary.LittleEndian, uint32(meta.Version)); err != nil {
 			return err
 		}
@@ -185,6 +198,15 @@ func writePlan(w io.Writer, p *policy.Plan, magic string, meta PlanMeta) error {
 	}
 	if _, err := bw.Write(p.Splits); err != nil {
 		return err
+	}
+	if magic == planMagicV3 {
+		fid := p.Fidelity
+		if len(fid) != p.N() {
+			return fmt.Errorf("persist: fidelity vector covers %d of %d samples", len(fid), p.N())
+		}
+		if _, err := bw.Write(fid); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }
@@ -205,9 +227,11 @@ func ReadPlanVersioned(r io.Reader) (*policy.Plan, PlanMeta, error) {
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, meta, fmt.Errorf("%w: magic: %v", ErrCorrupt, err)
 	}
+	progressive := false
 	switch string(magic) {
 	case planMagic:
-	case planMagicV2:
+	case planMagicV2, planMagicV3:
+		progressive = string(magic) == planMagicV3
 		var v uint32
 		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
 			return nil, meta, fmt.Errorf("%w: plan version: %v", ErrCorrupt, err)
@@ -239,10 +263,22 @@ func ReadPlanVersioned(r io.Reader) (*policy.Plan, PlanMeta, error) {
 			return nil, meta, fmt.Errorf("%w: split %d of sample %d out of range", ErrCorrupt, s, i)
 		}
 	}
+	var fidelity []uint8
+	if progressive {
+		fidelity = make([]uint8, n)
+		if _, err := io.ReadFull(br, fidelity); err != nil {
+			return nil, meta, fmt.Errorf("%w: fidelity: %v", ErrCorrupt, err)
+		}
+		for i, f := range fidelity {
+			if int(f) >= imaging.MaxScans {
+				return nil, meta, fmt.Errorf("%w: fidelity %d of sample %d out of range", ErrCorrupt, f, i)
+			}
+		}
+	}
 	if _, err := br.ReadByte(); err != io.EOF {
 		return nil, meta, fmt.Errorf("%w: trailing data", ErrCorrupt)
 	}
-	return &policy.Plan{Name: name, Splits: splits}, meta, nil
+	return &policy.Plan{Name: name, Splits: splits, Fidelity: fidelity}, meta, nil
 }
 
 // SaveTrace writes a trace to path.

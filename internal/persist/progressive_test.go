@@ -1,0 +1,134 @@
+package persist
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+var goldenFidelityPlan = &policy.Plan{
+	Name:     "golden-fid",
+	Splits:   []uint8{0, 3, 0, 2, 0, 4, 0, 0},
+	Fidelity: []uint8{1, 0, 3, 0, 2, 0, 0, 1},
+}
+
+// A plan carrying a fidelity vector round-trips through the v3 format with
+// both the versioned and plain readers; a fidelity-free plan must keep
+// producing byte-identical v2 output so pre-progressive files and tools
+// stay interchangeable.
+func TestPlanV3RoundTrip(t *testing.T) {
+	meta := PlanMeta{Version: 9, EnvFingerprint: 0xabad1dea}
+	var buf bytes.Buffer
+	if err := WritePlanVersioned(&buf, goldenFidelityPlan, meta); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if !bytes.HasPrefix(raw, []byte(planMagicV3)) {
+		t.Fatalf("fidelity plan serialized with magic %q", raw[:8])
+	}
+	p, got, err := ReadPlanVersioned(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != meta {
+		t.Fatalf("meta %+v, want %+v", got, meta)
+	}
+	if p.Name != goldenFidelityPlan.Name || !bytes.Equal(p.Splits, goldenFidelityPlan.Splits) ||
+		!bytes.Equal(p.Fidelity, goldenFidelityPlan.Fidelity) {
+		t.Fatalf("plan %+v", p)
+	}
+	if p2, err := ReadPlan(bytes.NewReader(raw)); err != nil || !p2.HasFidelity() {
+		t.Fatalf("ReadPlan on v3 bytes: %v", err)
+	}
+
+	// Fidelity-free plans — including an all-zero explicit vector — must
+	// stay on the v2 wire format byte for byte.
+	flat := &policy.Plan{Name: "flat", Splits: []uint8{0, 1, 2}, Fidelity: []uint8{0, 0, 0}}
+	buf.Reset()
+	if err := WritePlanVersioned(&buf, flat, meta); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte(planMagicV2)) {
+		t.Fatalf("fidelity-free plan serialized with magic %q", buf.Bytes()[:8])
+	}
+}
+
+// The legacy v1 writer cannot express fidelity; it promotes to v3 rather
+// than silently flattening the plan.
+func TestWritePlanPromotesFidelity(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePlan(&buf, goldenFidelityPlan); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte(planMagicV3)) {
+		t.Fatalf("WritePlan emitted magic %q for a fidelity plan", buf.Bytes()[:8])
+	}
+	p, meta, err := ReadPlanVersioned(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta != (PlanMeta{}) {
+		t.Fatalf("promoted plan carries meta %+v, want zero", meta)
+	}
+	if !bytes.Equal(p.Fidelity, goldenFidelityPlan.Fidelity) {
+		t.Fatalf("fidelity %v", p.Fidelity)
+	}
+}
+
+// TestPlanV3Golden pins the v3 generation byte for byte, like the v1/v2
+// goldens.
+func TestPlanV3Golden(t *testing.T) {
+	v3, err := os.ReadFile(filepath.Join("testdata", "plan_v3.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMeta := PlanMeta{Version: 11, EnvFingerprint: 0x0badc0de05060708}
+	p, meta, err := ReadPlanVersioned(bytes.NewReader(v3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta != wantMeta {
+		t.Fatalf("v3 golden meta %+v, want %+v", meta, wantMeta)
+	}
+	if p.Name != goldenFidelityPlan.Name || !bytes.Equal(p.Fidelity, goldenFidelityPlan.Fidelity) {
+		t.Fatalf("v3 golden plan %+v", p)
+	}
+	var out bytes.Buffer
+	if err := WritePlanVersioned(&out, p, meta); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), v3) {
+		t.Fatal("v3 writer no longer reproduces the golden bytes")
+	}
+}
+
+func TestPlanV3Corrupt(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePlanVersioned(&buf, goldenFidelityPlan, PlanMeta{}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Truncated fidelity vector.
+	if _, _, err := ReadPlanVersioned(bytes.NewReader(raw[:len(raw)-2])); err == nil {
+		t.Fatal("accepted truncated fidelity vector")
+	}
+	// Out-of-range fidelity (>= imaging.MaxScans).
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)-1] = 200
+	if _, _, err := ReadPlanVersioned(bytes.NewReader(bad)); err == nil {
+		t.Fatal("accepted out-of-range fidelity")
+	}
+	// Trailing garbage after the vector.
+	if _, _, err := ReadPlanVersioned(bytes.NewReader(append(append([]byte(nil), raw...), 0))); err == nil {
+		t.Fatal("accepted trailing data")
+	}
+	// A mis-sized in-memory fidelity vector must refuse to serialize.
+	broken := &policy.Plan{Name: "b", Splits: []uint8{0, 0, 0}, Fidelity: []uint8{1}}
+	if err := WritePlanVersioned(&buf, broken, PlanMeta{}); err == nil {
+		t.Fatal("accepted mis-sized fidelity vector")
+	}
+}

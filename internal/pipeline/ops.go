@@ -62,7 +62,10 @@ type Op interface {
 	Apply(a Artifact, rng *rand.Rand) (Artifact, error)
 }
 
-// decodeOp turns stored SJPG bytes into a pixel image.
+// decodeOp turns stored SJPG or progressive SJPR bytes into a pixel image.
+// Progressive containers decode from however many scans are present, so a
+// prefix a reduced-fidelity fetch shipped flows through the same pipeline as
+// a full object — at lower fidelity, not as an error.
 type decodeOp struct{}
 
 func (decodeOp) ID() OpID      { return OpDecode }
@@ -73,6 +76,13 @@ func (decodeOp) OutKind() Kind { return KindImage }
 func (decodeOp) Apply(a Artifact, _ *rand.Rand) (Artifact, error) {
 	if a.Kind != KindRaw {
 		return Artifact{}, fmt.Errorf("%w: Decode wants raw, got %s", ErrKindMismatch, a.Kind)
+	}
+	if imaging.IsProgressive(a.Raw) {
+		im, _, err := imaging.DecodeProgressive(a.Raw)
+		if err != nil {
+			return Artifact{}, fmt.Errorf("pipeline: decode progressive: %w", err)
+		}
+		return ImageArtifact(im), nil
 	}
 	im, err := imaging.Decode(a.Raw)
 	if err != nil {

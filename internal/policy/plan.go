@@ -16,9 +16,18 @@ import (
 
 // Plan assigns each sample a split: the number of pipeline ops executed on
 // the storage server before transfer. Split 0 ships the raw object.
+//
+// Fidelity is the progressive second dimension: for split-0 samples stored
+// as progressive containers, Fidelity[i] refinement scans are withheld in
+// transfer (the server slices the stored container; see imaging.SJPR). A
+// nil or all-zero Fidelity means full fidelity everywhere — the discrete
+// plans of earlier versions are exactly that case, so SOPHPLN1/2 plans
+// load unchanged. Fidelity is advisory for split > 0: deeper cuts ship
+// decoded artifacts with no scan structure.
 type Plan struct {
-	Name   string
-	Splits []uint8
+	Name     string
+	Splits   []uint8
+	Fidelity []uint8 // scans dropped per sample; nil = full fidelity
 }
 
 // ErrPlanMismatch reports a plan sized for a different dataset.
@@ -84,6 +93,10 @@ func (p *Plan) SplitHistogram() [dataset.StageCount]int {
 // distribution.
 func (p *Plan) String() string {
 	h := p.SplitHistogram()
+	if p.HasFidelity() {
+		return fmt.Sprintf("Plan(%s: %d/%d offloaded, %d reduced-fidelity, splits %v)",
+			p.Name, p.OffloadedCount(), p.N(), p.ReducedCount(), h)
+	}
 	return fmt.Sprintf("Plan(%s: %d/%d offloaded, splits %v)",
 		p.Name, p.OffloadedCount(), p.N(), h)
 }

@@ -20,6 +20,12 @@ type Sophon struct {
 	// increase the predicted epoch time (an extension over the paper's
 	// stop conditions; benchmarked as Ablation A).
 	StepGuard bool
+	// Fidelity, when non-nil, enables the progressive second pass: after
+	// the discrete loop, split-0 samples may additionally withhold
+	// refinement scans of their progressive container (zero storage-CPU
+	// cost, bounded by the pass's quality floors). The resulting plan
+	// carries a Fidelity vector and persists as SOPHPLN3.
+	Fidelity *FidelityPass
 }
 
 // NewSophon returns the paper-faithful engine (no step guard).
@@ -27,10 +33,14 @@ func NewSophon() *Sophon { return &Sophon{} }
 
 // Name implements Policy.
 func (s *Sophon) Name() string {
+	name := "SOPHON"
 	if s.StepGuard {
-		return "SOPHON+guard"
+		name += "+guard"
 	}
-	return "SOPHON"
+	if s.Fidelity != nil {
+		name += "+fid"
+	}
+	return name
 }
 
 // Capabilities implements Policy: SOPHON is the only system with all four
@@ -86,12 +96,25 @@ func (s *Sophon) Plan(tr *dataset.Trace, env Env) (*Plan, error) {
 	if err := env.Validate(); err != nil {
 		return nil, err
 	}
+	if s.Fidelity != nil {
+		if err := s.Fidelity.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	plan, err := NewUniformPlan(s.Name(), tr.N(), 0)
 	if err != nil {
 		return nil, err
 	}
 	if env.StorageCores == 0 {
-		return plan, nil // offloading impossible; fall back to No-Off behaviour
+		// Discrete offloading is impossible without storage cores — but a
+		// fidelity drop costs none (the server slices stored containers),
+		// so the progressive pass still applies when the link dominates.
+		if s.Fidelity != nil {
+			if err := s.fidelityOnly(plan, tr, env); err != nil {
+				return nil, err
+			}
+		}
+		return plan, nil
 	}
 	model, err := ModelFor(tr, plan, env)
 	if err != nil {
@@ -188,5 +211,40 @@ func (s *Sophon) Plan(tr *dataset.Trace, env Env) (*Plan, error) {
 		tcs[sh] += dCS
 		tcc -= dCC
 	}
+	if s.Fidelity != nil {
+		// Continue the greedy state into the progressive pass: shards whose
+		// T_Net the discrete loop could not bring down (typically because
+		// storage cores ran out first) shed further bytes by withholding
+		// refinement scans, which costs no storage CPU at all.
+		applyFidelityPass(plan, tr, env, *s.Fidelity, shardMap, tg, tcc, tnet, tcs)
+	}
 	return plan, nil
+}
+
+// fidelityOnly runs just the progressive pass over a no-offload plan, for
+// environments whose storage tier has zero preprocessing cores.
+func (s *Sophon) fidelityOnly(plan *Plan, tr *dataset.Trace, env Env) error {
+	model, err := ModelFor(tr, plan, env)
+	if err != nil {
+		return err
+	}
+	if !model.NetDominant() {
+		return nil
+	}
+	shards := env.ShardCount()
+	shardMap, err := cluster.NewShardMap(shards)
+	if err != nil {
+		return err
+	}
+	traffic, _, err := plan.ShardLoads(tr, shards)
+	if err != nil {
+		return err
+	}
+	tnet := make([]time.Duration, shards)
+	tcs := make([]time.Duration, shards)
+	for sh, b := range traffic {
+		tnet[sh] = time.Duration(float64(b) / env.Bandwidth * float64(time.Second))
+	}
+	applyFidelityPass(plan, tr, env, *s.Fidelity, shardMap, model.TG, model.TCC, tnet, tcs)
+	return nil
 }

@@ -1,0 +1,41 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/raceflag"
+	"repro/internal/wire"
+)
+
+// TestPrefixServeSteadyStateAllocs pins the progressive fast path: answering
+// a reduced-fidelity raw fetch slices the stored container and copies it
+// into one pooled buffer — no decode, no re-encode. After warmup the whole
+// handler should cost at most the response-struct allocation; the budget of
+// 2 tolerates an occasional GC pool clear.
+func TestPrefixServeSteadyStateAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race detector degrades sync.Pool caching; budgets not meaningful")
+	}
+	st := progressiveStore(t, 1)
+	srv, err := NewServer(ServerConfig{Store: st, Pipeline: pipeline.DefaultStandard(), Cores: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	req := &wire.Fetch{RequestID: 1, Sample: 0, Split: 0, Epoch: 1, Fidelity: 2}
+	serve := func() {
+		resp := srv.handleFetch(7, req)
+		if resp.Status != wire.FetchOK || resp.Artifact == nil {
+			t.Fatalf("prefix serve failed: %+v", resp)
+		}
+		wire.Recycle(resp)
+	}
+	for i := 0; i < 16; i++ {
+		serve()
+	}
+	allocs := testing.AllocsPerRun(100, serve)
+	if allocs > 2 {
+		t.Fatalf("prefix serve allocates %.1f allocs/op at steady state, budget is 2", allocs)
+	}
+}

@@ -84,8 +84,11 @@ func TestFetchBatchValidation(t *testing.T) {
 	if _, err := c.FetchBatch(context.Background(), []uint32{0}, []int{0, 1}, 1); err == nil {
 		t.Fatal("accepted mismatched splits")
 	}
-	if _, err := c.FetchBatch(context.Background(), []uint32{0}, []int{999}, 1); err == nil {
+	if _, err := c.FetchBatch(context.Background(), []uint32{0}, []int{-1}, 1); err == nil {
 		t.Fatal("accepted out-of-range split")
+	}
+	if _, err := c.FetchBatch(context.Background(), []uint32{0}, []int{PackDirective(0, 256)}, 1); err == nil {
+		t.Fatal("accepted out-of-range fidelity")
 	}
 	big := make([]uint32, wire.MaxBatchItems+1)
 	bigSplits := make([]int, len(big))

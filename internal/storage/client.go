@@ -358,6 +358,7 @@ type FetchResult struct {
 	Sample    uint32
 	Artifact  pipeline.Artifact
 	Split     int
+	Fidelity  int // refinement scans the directive asked to withhold
 	WireBytes int // total response frame size over the link
 	Status    wire.FetchStatus
 	Err       error
@@ -378,14 +379,22 @@ func statusErr(status wire.FetchStatus, sample uint32, split int) error {
 }
 
 // Fetch requests sample id with the first split ops executed server-side,
-// returning the decoded artifact. Cancelling ctx unblocks the caller without
-// disturbing other in-flight requests on the session.
+// returning the decoded artifact. split is a packed directive (see
+// PackDirective): a plain split value requests full fidelity, and a packed
+// fidelity asks the server to withhold that many progressive refinement
+// scans. Cancelling ctx unblocks the caller without disturbing other
+// in-flight requests on the session.
 func (c *Client) Fetch(ctx context.Context, sample uint32, split int, epoch uint64) (FetchResult, error) {
+	split, fidelity := UnpackDirective(split)
 	if split < 0 || split > 255 {
 		return FetchResult{}, fmt.Errorf("storage: split %d out of range", split)
 	}
+	if fidelity < 0 || fidelity > 255 {
+		return FetchResult{}, fmt.Errorf("storage: fidelity %d out of range", fidelity)
+	}
 	id := c.reserveID()
-	req := &wire.Fetch{RequestID: id, Sample: sample, Split: uint8(split), Epoch: epoch, PlanVersion: c.planVersion.Load()}
+	req := &wire.Fetch{RequestID: id, Sample: sample, Split: uint8(split), Epoch: epoch,
+		PlanVersion: c.planVersion.Load(), Fidelity: uint8(fidelity)}
 	msg, err := c.roundTrip(ctx, id, req)
 	if err != nil {
 		return FetchResult{}, err
@@ -411,6 +420,7 @@ func (c *Client) Fetch(ctx context.Context, sample uint32, split int, epoch uint
 		Sample:    sample,
 		Artifact:  art,
 		Split:     int(resp.Split),
+		Fidelity:  fidelity,
 		WireBytes: frame,
 		Status:    wire.FetchOK,
 	}, nil
@@ -433,10 +443,14 @@ func (c *Client) FetchBatch(ctx context.Context, samples []uint32, splits []int,
 	}
 	items := make([]wire.FetchBatchItem, len(samples))
 	for i := range samples {
-		if splits[i] < 0 || splits[i] > 255 {
-			return nil, fmt.Errorf("storage: split %d out of range", splits[i])
+		split, fidelity := UnpackDirective(splits[i])
+		if split < 0 || split > 255 {
+			return nil, fmt.Errorf("storage: split %d out of range", split)
 		}
-		items[i] = wire.FetchBatchItem{Sample: samples[i], Split: uint8(splits[i])}
+		if fidelity < 0 || fidelity > 255 {
+			return nil, fmt.Errorf("storage: fidelity %d out of range", fidelity)
+		}
+		items[i] = wire.FetchBatchItem{Sample: samples[i], Split: uint8(split), Fidelity: uint8(fidelity)}
 	}
 
 	id := c.reserveID()
@@ -465,7 +479,7 @@ func (c *Client) FetchBatch(ctx context.Context, samples []uint32, splits []int,
 	overhead := frame - payload
 	out := make([]FetchResult, len(resp.Items))
 	for i, it := range resp.Items {
-		out[i] = FetchResult{Sample: it.Sample, Split: int(it.Split), Status: it.Status}
+		out[i] = FetchResult{Sample: it.Sample, Split: int(it.Split), Fidelity: int(items[i].Fidelity), Status: it.Status}
 		if err := statusErr(it.Status, it.Sample, int(it.Split)); err != nil {
 			out[i].Err = err
 			continue

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bufpool"
+	"repro/internal/imaging"
 	"repro/internal/pipeline"
 	"repro/internal/wire"
 )
@@ -394,6 +396,7 @@ func (s *Server) handleFetchBatch(jobID uint64, req *wire.FetchBatch) *wire.Fetc
 				Sample:    item.Sample,
 				Split:     item.Split,
 				Epoch:     req.Epoch,
+				Fidelity:  item.Fidelity,
 			})
 			resp.Items[i] = wire.FetchBatchRespItem{
 				Sample:   one.Sample,
@@ -420,6 +423,20 @@ func (s *Server) handleFetch(jobID uint64, req *wire.Fetch) *wire.FetchResp {
 		resp.Status = wire.FetchBadSplit
 		return resp
 	}
+	if split == 0 {
+		// Progressive fast path: a reduced-fidelity raw fetch of a stored
+		// SJPR container is answered by slicing the stored bytes — no
+		// decode, no re-encode, no executor core. A non-progressive object
+		// (or a zero drop) falls through to the normal raw path.
+		if enc, saved := s.sliceProgressive(raw, req.Fidelity); enc != nil {
+			resp.Status = wire.FetchOK
+			resp.Artifact = enc
+			s.counters.SamplesServed.Add(1)
+			s.counters.PrefixServed.Add(1)
+			s.counters.PrefixBytesSaved.Add(uint64(saved))
+			return resp
+		}
+	}
 	seed := pipeline.Seed{Job: jobID, Epoch: req.Epoch, Sample: uint64(req.Sample)}
 	// RunPrefixEncoded encodes into a pooled buffer; the writer goroutine
 	// returns it to the arena (wire.Recycle) once the frame is sent.
@@ -433,4 +450,33 @@ func (s *Server) handleFetch(jobID uint64, req *wire.Fetch) *wire.FetchResp {
 	resp.Artifact = encoded
 	s.counters.SamplesServed.Add(1)
 	return resp
+}
+
+// sliceProgressive serves the first (scans − drop) scans of a stored
+// progressive container, keeping at least the base scan. It returns the
+// encoded raw artifact in a pooled buffer — the response's artifact bytes
+// are recycled by the writer goroutine, so the stored container must never
+// be aliased — plus the refinement bytes withheld. A nil return means the
+// fast path does not apply (drop 0, non-progressive object, or a container
+// the slicer rejects) and the caller should serve the full object.
+func (s *Server) sliceProgressive(raw []byte, drop uint8) ([]byte, int) {
+	if drop == 0 || !imaging.IsProgressive(raw) {
+		return nil, 0
+	}
+	_, _, _, scans, _, err := imaging.ProgressiveInfo(raw)
+	if err != nil {
+		return nil, 0
+	}
+	keep := scans - int(drop)
+	if keep < 1 {
+		keep = 1
+	}
+	prefix, err := imaging.SlicePrefix(raw, keep)
+	if err != nil || len(prefix) == len(raw) {
+		return nil, 0
+	}
+	enc := bufpool.GetBytes(1 + len(prefix))
+	enc[0] = byte(pipeline.KindRaw)
+	copy(enc[1:], prefix)
+	return enc, len(raw) - len(prefix)
 }

@@ -125,6 +125,12 @@ type Counters struct {
 	// keeps a global count; this one is per-server so a sharded deployment
 	// can see which shard is hot).
 	ShedLoad atomic.Uint64
+	// PrefixServed counts raw fetches answered from the progressive fast
+	// path: the stored container was sliced to the requested fidelity with
+	// no re-encoding. PrefixBytesSaved sums the refinement bytes those
+	// slices withheld versus shipping the full container.
+	PrefixServed     atomic.Uint64
+	PrefixBytesSaved atomic.Uint64
 }
 
 // ObservePlanVersion folds one request's plan version into the counters:

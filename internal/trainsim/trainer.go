@@ -559,12 +559,12 @@ func (t *Trainer) startLookahead(ctx context.Context, cancel context.CancelFunc,
 			return 0
 		}
 		if s := t.snap.Load(); s != nil && s.Plan != nil && s.Plan.N() == t.n {
-			return s.Plan.Split(sample)
+			return directiveFor(s.Plan, sample)
 		}
 		if plan == nil {
 			return 0
 		}
-		return plan.Split(sample)
+		return directiveFor(plan, sample)
 	}
 	fetch := func(shard int, samples []uint32, splits []int) ([]storage.FetchResult, error) {
 		fetchStart := time.Now()
@@ -746,12 +746,25 @@ func (t *Trainer) gpuStep(report *EpochReport, size int) {
 	report.Batches++
 }
 
-// splitFor returns the server-side prefix length for sample i this epoch.
+// splitFor returns the fetch directive for sample i this epoch: the
+// server-side prefix length, with the plan's fidelity drop packed alongside
+// for raw samples (see storage.PackDirective).
 func (t *Trainer) splitFor(i int, plan *policy.Plan, collector *profiler.Collector) int {
 	if collector != nil || plan == nil {
 		return 0
 	}
-	return plan.Split(i)
+	return directiveFor(plan, i)
+}
+
+// directiveFor packs one sample's plan decision into a fetch directive.
+// Fidelity only exists on the raw object — offloaded cuts ship artifacts
+// with no scan structure, so their directive is the bare split.
+func directiveFor(plan *policy.Plan, i int) int {
+	s := plan.Split(i)
+	if s != 0 {
+		return s
+	}
+	return storage.PackDirective(0, plan.FidelityOf(i))
 }
 
 // fetchedChunk carries one chunk's fetch results from the fetch stage to
@@ -853,6 +866,9 @@ func (t *Trainer) observeFetch(d time.Duration, samples, bytes int) {
 // finishSample runs the local part of one sample's preprocessing (or the
 // profiling trace) under the compute-core budget.
 func (t *Trainer) finishSample(res storage.FetchResult, epoch uint64, i, split int, collector *profiler.Collector, computeSem chan struct{}) sampleOutcome {
+	// The directive packs (cut, fidelity); only the cut matters locally —
+	// a reduced-fidelity container decodes transparently from fewer scans.
+	split, _ = storage.UnpackDirective(split)
 	seed := pipeline.Seed{Job: t.cfg.JobID, Epoch: epoch, Sample: uint64(i)}
 
 	computeSem <- struct{}{}

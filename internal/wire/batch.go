@@ -12,10 +12,15 @@ const (
 	TypeFetchBatchResp
 )
 
-// FetchBatchItem is one sample request within a batch.
+// FetchBatchItem is one sample request within a batch. Fidelity carries the
+// progressive directive (refinement scans to withhold; 0 = full container,
+// see Fetch). A batch is encoded with per-item fidelity bytes only when at
+// least one item requests a reduction, so full-fidelity batches stay
+// byte-identical to the pre-progressive layout.
 type FetchBatchItem struct {
-	Sample uint32
-	Split  uint8
+	Sample   uint32
+	Split    uint8
+	Fidelity uint8
 }
 
 // FetchBatch requests several samples in one frame, all for the same epoch
@@ -49,7 +54,24 @@ const MaxBatchItems = 64
 func (*FetchBatch) Type() MsgType     { return TypeFetchBatch }
 func (*FetchBatchResp) Type() MsgType { return TypeFetchBatchResp }
 
-func (m *FetchBatch) payloadSize() int { return 22 + 5*len(m.Items) }
+// hasFidelity reports whether any item carries a non-zero fidelity
+// directive, which selects the wide (6-byte) item encoding.
+func (m *FetchBatch) hasFidelity() bool {
+	for i := range m.Items {
+		if m.Items[i].Fidelity != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *FetchBatch) payloadSize() int {
+	per := 5
+	if m.hasFidelity() {
+		per = 6
+	}
+	return 22 + per*len(m.Items)
+}
 
 func (m *FetchBatch) appendPayload(p []byte) []byte {
 	var b [22]byte
@@ -58,11 +80,17 @@ func (m *FetchBatch) appendPayload(p []byte) []byte {
 	binary.BigEndian.PutUint32(b[16:20], m.PlanVersion)
 	binary.BigEndian.PutUint16(b[20:22], uint16(len(m.Items)))
 	p = append(p, b[:]...)
+	wide := m.hasFidelity()
 	for _, it := range m.Items {
-		var e [5]byte
+		var e [6]byte
 		binary.BigEndian.PutUint32(e[0:4], it.Sample)
 		e[4] = it.Split
-		p = append(p, e[:]...)
+		if wide {
+			e[5] = it.Fidelity
+			p = append(p, e[:6]...)
+		} else {
+			p = append(p, e[:5]...)
+		}
 	}
 	return p
 }
@@ -78,15 +106,36 @@ func (m *FetchBatch) decodePayload(p []byte) error {
 	if n > MaxBatchItems {
 		return ErrFrameTooBig
 	}
-	if len(p) != 22+5*n {
+	// The item count disambiguates the narrow (legacy, 5-byte) and wide
+	// (progressive, 6-byte) layouts by total length alone.
+	per := 0
+	switch len(p) {
+	case 22 + 5*n:
+		per = 5
+	case 22 + 6*n:
+		if n == 0 {
+			break // zero items: both layouts coincide
+		}
+		per = 6
+	default:
 		return ErrTruncated
 	}
 	m.Items = make([]FetchBatchItem, n)
 	off := 22
+	any := false
 	for i := range m.Items {
 		m.Items[i].Sample = binary.BigEndian.Uint32(p[off : off+4])
 		m.Items[i].Split = p[off+4]
-		off += 5
+		if per == 6 {
+			m.Items[i].Fidelity = p[off+5]
+			any = any || p[off+5] != 0
+		}
+		off += per
+	}
+	if per == 6 && !any {
+		// Wide layout with all-zero fidelity would re-encode narrow; reject
+		// the non-canonical frame so encodings stay a byte fixed point.
+		return ErrTruncated
 	}
 	return nil
 }

@@ -51,6 +51,16 @@ func FuzzRoundTrip(f *testing.F) {
 			if *got != *in {
 				t.Fatalf("Fetch %+v -> %+v", in, got)
 			}
+			// The progressive directive must round-trip too, and a
+			// full-fidelity fetch must stay on the legacy 25-byte payload.
+			in.Fidelity = split % 4
+			got = check(in).(*Fetch)
+			if *got != *in {
+				t.Fatalf("Fetch fidelity %+v -> %+v", in, got)
+			}
+			if in.Fidelity == 0 && in.payloadSize() != 25 {
+				t.Fatalf("full-fidelity Fetch grew to %d bytes", in.payloadSize())
+			}
 		}
 
 		{
@@ -72,7 +82,13 @@ func FuzzRoundTrip(f *testing.F) {
 		req := &FetchBatch{RequestID: reqID, Epoch: epoch, PlanVersion: sample ^ uint32(reqID), Items: make([]FetchBatchItem, n)}
 		resp := &FetchBatchResp{RequestID: reqID, Items: make([]FetchBatchRespItem, n)}
 		for i := 0; i < n; i++ {
-			req.Items[i] = FetchBatchItem{Sample: sample + uint32(i), Split: split + uint8(i)}
+			// Odd item counts exercise the wide (per-item fidelity) batch
+			// layout; even counts keep the legacy narrow layout.
+			var fid uint8
+			if n%2 == 1 {
+				fid = uint8(i)%3 + 1
+			}
+			req.Items[i] = FetchBatchItem{Sample: sample + uint32(i), Split: split + uint8(i), Fidelity: fid}
 			var part []byte
 			if len(artifact) > 0 {
 				lo := i * len(artifact) / n
@@ -122,11 +138,13 @@ func FuzzRead(f *testing.F) {
 	seed(&Hello{Version: 1, JobID: 7})
 	seed(&HelloAck{Version: 1, DatasetName: "openimages", NumSamples: 40000})
 	seed(&Fetch{RequestID: 1, Sample: 2, Split: 3, Epoch: 4})
+	seed(&Fetch{RequestID: 1, Sample: 2, Epoch: 4, Fidelity: 2})
 	seed(&FetchResp{RequestID: 1, Sample: 2, Status: FetchOK, Artifact: []byte{1, 2, 3}})
 	seed(&StatsReq{RequestID: 5})
 	seed(&StatsResp{RequestID: 5, SamplesServed: 10, BytesSent: 20})
 	seed(&ErrorResp{RequestID: 6, Code: CodeBadRequest, Message: "no"})
 	seed(&FetchBatch{RequestID: 1, Epoch: 2, Items: []FetchBatchItem{{Sample: 1, Split: 2}}})
+	seed(&FetchBatch{RequestID: 1, Epoch: 2, Items: []FetchBatchItem{{Sample: 1}, {Sample: 2, Fidelity: 3}}})
 	seed(&FetchBatchResp{RequestID: 1, Items: []FetchBatchRespItem{{Sample: 1, Artifact: []byte{9}}}})
 	seed(&RetryAfter{RequestID: 7, Millis: 50, Queued: 12})
 	f.Add([]byte{})
@@ -166,8 +184,10 @@ func FuzzDecode(f *testing.F) {
 	seed(&Hello{Version: Version, JobID: 1})
 	seed(&HelloAck{Version: Version, DatasetName: "d", NumSamples: 3})
 	seed(&Fetch{RequestID: 9, Sample: 8, Split: 7, Epoch: 6})
+	seed(&Fetch{RequestID: 9, Sample: 8, Epoch: 6, Fidelity: 1})
 	seed(&FetchResp{RequestID: 9, Sample: 8, Status: FetchNotFound})
 	seed(&FetchBatch{RequestID: 2, Epoch: 1, Items: []FetchBatchItem{{Sample: 4}, {Sample: 5, Split: 1}}})
+	seed(&FetchBatch{RequestID: 2, Epoch: 1, Items: []FetchBatchItem{{Sample: 4, Fidelity: 2}, {Sample: 5, Split: 1}}})
 	seed(&FetchBatchResp{RequestID: 2, Items: []FetchBatchRespItem{{Sample: 4, Status: FetchOK, Artifact: []byte{1}}}})
 	seed(&StatsReq{RequestID: 3})
 	seed(&StatsResp{RequestID: 3, OpsExecuted: 11, ServerCPUNanos: 12})

@@ -1,0 +1,100 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// A full-fidelity Fetch must be byte-identical to the pre-progressive
+// version-3 encoding, so peers that predate the fidelity extension
+// interoperate without a version bump.
+func TestFetchFidelityWireCompat(t *testing.T) {
+	legacy := &Fetch{RequestID: 11, Sample: 22, Split: 3, Epoch: 44, PlanVersion: 5}
+	if got := legacy.payloadSize(); got != 25 {
+		t.Fatalf("full-fidelity payload is %d bytes, want 25", got)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, legacy); err != nil {
+		t.Fatal(err)
+	}
+	frame := append([]byte(nil), buf.Bytes()...)
+
+	reduced := &Fetch{RequestID: 11, Sample: 22, Epoch: 44, PlanVersion: 5, Fidelity: 2}
+	if got := reduced.payloadSize(); got != 26 {
+		t.Fatalf("reduced-fidelity payload is %d bytes, want 26", got)
+	}
+	buf.Reset()
+	if err := Write(&buf, reduced); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.(*Fetch); *got != *reduced {
+		t.Fatalf("reduced fetch round-trip: %+v", got)
+	}
+
+	// The legacy frame still parses, with fidelity defaulting to full.
+	m, err = Read(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.(*Fetch); got.Fidelity != 0 || got.Sample != 22 {
+		t.Fatalf("legacy fetch parsed as %+v", got)
+	}
+
+	// A wide payload whose trailing fidelity byte is zero is non-canonical
+	// and must be rejected, keeping the codec a byte fixed point.
+	var zero Fetch
+	if err := zero.decodePayload(make([]byte, 26)); err == nil {
+		t.Fatal("accepted non-canonical 26-byte fetch with fidelity 0")
+	}
+}
+
+// Batches follow the same rule: the wide per-item layout appears only when
+// some item actually reduces fidelity.
+func TestFetchBatchFidelityWireCompat(t *testing.T) {
+	narrow := &FetchBatch{RequestID: 1, Epoch: 2, PlanVersion: 3, Items: []FetchBatchItem{
+		{Sample: 10, Split: 2}, {Sample: 11},
+	}}
+	if got := narrow.payloadSize(); got != 22+5*2 {
+		t.Fatalf("narrow batch payload %d, want %d", got, 22+5*2)
+	}
+	wide := &FetchBatch{RequestID: 1, Epoch: 2, PlanVersion: 3, Items: []FetchBatchItem{
+		{Sample: 10, Split: 2}, {Sample: 11, Fidelity: 3},
+	}}
+	if got := wide.payloadSize(); got != 22+6*2 {
+		t.Fatalf("wide batch payload %d, want %d", got, 22+6*2)
+	}
+	for _, m := range []*FetchBatch{narrow, wide} {
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := got.(*FetchBatch)
+		if len(b.Items) != len(m.Items) {
+			t.Fatalf("item count %d, want %d", len(b.Items), len(m.Items))
+		}
+		for i := range m.Items {
+			if b.Items[i] != m.Items[i] {
+				t.Fatalf("item %d: %+v, want %+v", i, b.Items[i], m.Items[i])
+			}
+		}
+	}
+
+	// Hand-build a wide batch whose fidelity bytes are all zero: it would
+	// re-encode narrow, so the decoder rejects it as non-canonical.
+	var payload []byte
+	payload = wide.appendPayload(payload)
+	bad := append([]byte(nil), payload...)
+	bad[22+6*1+5] = 0 // zero the only non-zero fidelity byte
+	var dec FetchBatch
+	if err := dec.decodePayload(bad); err == nil {
+		t.Fatal("accepted non-canonical wide batch with all-zero fidelity")
+	}
+}

@@ -143,6 +143,14 @@ type HelloAck struct {
 
 // Fetch requests one sample, asking the server to execute the first Split
 // pipeline ops before transmitting (Split 0 ships the raw object).
+//
+// Fidelity extends the directive with the progressive dimension: the number
+// of refinement scans the server should withhold when the stored object is a
+// progressive container (imaging.SJPR). It is encoded as a trailing payload
+// byte that is present only when non-zero, so full-fidelity traffic stays
+// byte-identical to pre-progressive version-3 peers, and a legacy decoder
+// rejects (rather than misreads) a reduced-fidelity directive. Fidelity is
+// meaningful only at Split 0; servers ignore it on deeper cuts.
 type Fetch struct {
 	RequestID uint64
 	Sample    uint32
@@ -152,6 +160,9 @@ type Fetch struct {
 	// (0 = unversioned). It lets the server validate which plan epoch a
 	// request belongs to; it never affects the artifact produced.
 	PlanVersion uint32
+	// Fidelity is the number of progressive refinement scans to withhold
+	// (0 = ship the full container).
+	Fidelity uint8
 }
 
 // FetchStatus reports the outcome of a Fetch.
@@ -257,20 +268,40 @@ func (m *HelloAck) decodePayload(p []byte) error {
 	return nil
 }
 
-func (m *Fetch) payloadSize() int { return 25 }
+func (m *Fetch) payloadSize() int {
+	if m.Fidelity != 0 {
+		return 26
+	}
+	return 25
+}
 
 func (m *Fetch) appendPayload(p []byte) []byte {
-	var b [25]byte
+	var b [26]byte
 	binary.BigEndian.PutUint64(b[0:8], m.RequestID)
 	binary.BigEndian.PutUint32(b[8:12], m.Sample)
 	b[12] = m.Split
 	binary.BigEndian.PutUint64(b[13:21], m.Epoch)
 	binary.BigEndian.PutUint32(b[21:25], m.PlanVersion)
-	return append(p, b[:]...)
+	if m.Fidelity != 0 {
+		b[25] = m.Fidelity
+		return append(p, b[:26]...)
+	}
+	return append(p, b[:25]...)
 }
 
 func (m *Fetch) decodePayload(p []byte) error {
-	if len(p) != 25 {
+	switch len(p) {
+	case 25:
+		m.Fidelity = 0
+	case 26:
+		// The trailing byte exists only to carry a non-zero fidelity; a
+		// zero there is a non-canonical frame and is rejected so encodings
+		// stay a byte fixed point.
+		if p[25] == 0 {
+			return ErrTruncated
+		}
+		m.Fidelity = p[25]
+	default:
 		return ErrTruncated
 	}
 	m.RequestID = binary.BigEndian.Uint64(p[0:8])
